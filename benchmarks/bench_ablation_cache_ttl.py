@@ -1,0 +1,23 @@
+"""Ablation: lookup-cache TTL under ring churn (Section 5's 1.25 h)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_cache_ttl_ablation
+from repro.experiments.common import format_table
+
+
+def test_ablation_cache_ttl(benchmark):
+    rows = run_once(benchmark, run_cache_ttl_ablation)
+    print()
+    print(format_table(
+        rows,
+        ["ttl_s", "miss_rate", "stale_redirects", "total_lookup_cost"],
+        title="Ablation: lookup cache TTL vs churn",
+    ))
+    by_ttl = {row["ttl_s"]: row for row in rows}
+    short, mid, long = by_ttl[60.0], by_ttl[4500.0], by_ttl[1e9]
+    # A short TTL discards valid entries (high miss rate)...
+    assert short["miss_rate"] > mid["miss_rate"]
+    # ...an infinite TTL accrues stale entries (more misdirected requests).
+    assert long["stale_redirects"] >= mid["stale_redirects"]
+    # The paper's middle-ground TTL minimizes total lookup work here.
+    assert mid["total_lookup_cost"] <= short["total_lookup_cost"]

@@ -1,0 +1,21 @@
+"""Ablation: block pointers' effect on migration volume (Figure 6)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_pointer_ablation
+from repro.experiments.common import format_table
+
+
+def test_ablation_pointers(benchmark):
+    rows = run_once(benchmark, run_pointer_ablation)
+    print()
+    print(format_table(
+        rows,
+        ["pointers", "written_mb", "migrated_mb", "migration_multiplier",
+         "moves", "final_nsd"],
+        title="Ablation: migration with vs without block pointers",
+    ))
+    on = next(r for r in rows if r["pointers"] == "on")
+    off = next(r for r in rows if r["pointers"] == "off")
+    # Pointers must cut migration markedly without hurting final balance.
+    assert on["migrated_mb"] < 0.7 * off["migrated_mb"]
+    assert on["final_nsd"] < 1.0

@@ -1,0 +1,23 @@
+"""Ablation: replication factor vs task availability (Section 8.2)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_replica_ablation
+from repro.experiments.common import format_table
+
+
+def test_ablation_replicas(benchmark):
+    rows = run_once(benchmark, run_replica_ablation)
+    print()
+    print(format_table(
+        rows,
+        ["replicas", "unavail_d2", "unavail_traditional"],
+        title="Ablation: replica count vs task unavailability (inter = 5 s)",
+    ))
+    # More replicas help both, D2 at least as much (paper: r=4 makes D2
+    # failure-free while traditional still fails).
+    for row in rows:
+        assert row["unavail_d2"] <= row["unavail_traditional"]
+    d2 = [row["unavail_d2"] for row in rows]
+    trad = [row["unavail_traditional"] for row in rows]
+    assert d2[-1] <= d2[0]
+    assert trad[-1] <= trad[0]

@@ -1,0 +1,23 @@
+"""Ablation: membership sampling vs Mercury random-walk sampling."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_sampling_ablation
+from repro.experiments.common import format_table
+
+
+def test_ablation_sampling(benchmark):
+    rows = run_once(benchmark, run_sampling_ablation)
+    print()
+    print(format_table(
+        rows,
+        ["sampling", "rounds", "moves", "final_nsd", "max_over_mean"],
+        title="Ablation: balancer sampling strategy",
+    ))
+    by = {row["sampling"]: row for row in rows}
+    walk = by["random-walk"]
+    member = by["membership"]
+    # The decentralized sampler must reach comparable balance...
+    assert walk["max_over_mean"] <= 4.5
+    assert walk["final_nsd"] <= 2.0 * member["final_nsd"] + 0.2
+    # ...without pathological extra movement.
+    assert walk["moves"] <= 3 * member["moves"] + 5

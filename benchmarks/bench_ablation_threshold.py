@@ -1,0 +1,22 @@
+"""Ablation: the Karger-Ruhl threshold t (balance vs movement)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_threshold_ablation
+from repro.experiments.common import format_table
+
+
+def test_ablation_threshold(benchmark):
+    rows = run_once(benchmark, run_threshold_ablation)
+    print()
+    print(format_table(
+        rows,
+        ["threshold", "rounds", "moves", "migrated_mb", "final_nsd",
+         "max_over_mean"],
+        title="Ablation: balance threshold t",
+    ))
+    by_t = {row["threshold"]: row for row in rows}
+    # Looser thresholds tolerate more imbalance...
+    assert by_t[8.0]["max_over_mean"] >= by_t[2.5]["max_over_mean"] - 0.25
+    # ...and every run respects its own t-factor bound.
+    for row in rows:
+        assert row["max_over_mean"] <= row["threshold"] + 0.5

@@ -1,0 +1,18 @@
+"""Extension: replication vs erasure coding (Section 3's redundancy claim)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ext_erasure import format_erasure, run_erasure_extension
+
+
+def test_ext_erasure(benchmark):
+    rows = run_once(benchmark, run_erasure_extension)
+    print()
+    print(format_erasure(rows))
+    by = {(r["system"], r["redundancy"]): r["unavailability"] for r in rows}
+    # The paper's claim: D2's advantage holds under every redundancy scheme.
+    for scheme in ("replication r=3", "erasure (6,2)", "erasure (4,2)"):
+        assert by[("d2", scheme)] <= by[("traditional", scheme)]
+    # At matched 3x storage, (6,2) is at least as available as replication.
+    assert by[("d2", "erasure (6,2)")] <= by[("d2", "replication r=3")] + 1e-9
+    # Headline: D2 at 2x storage beats traditional at 3x.
+    assert by[("d2", "erasure (4,2)")] < by[("traditional", "replication r=3")]

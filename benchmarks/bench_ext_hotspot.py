@@ -1,0 +1,16 @@
+"""Extension: retrieval caches flatten request hot spots (Section 6)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ext_hotspot import format_hotspot, run_hotspot_extension
+
+
+def test_ext_hotspot(benchmark):
+    rows = run_once(benchmark, run_hotspot_extension)
+    print()
+    print(format_hotspot(rows))
+    base = next(r for r in rows if r["scheme"] == "replicas-only")
+    cached = next(r for r in rows if r["scheme"] == "retrieval-caches")
+    # Caches must flatten the hot spot markedly and recruit more servers.
+    assert cached["max_over_mean_requests"] < 0.6 * base["max_over_mean_requests"]
+    assert cached["nodes_serving"] >= base["nodes_serving"]
+    assert cached["cache_hit_fraction"] > 0.5

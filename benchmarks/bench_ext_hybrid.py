@@ -1,0 +1,23 @@
+"""Extension: hybrid replica placement (the paper's Section 11 proposal)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ext_hybrid import format_hybrid, run_hybrid_extension
+
+
+def test_ext_hybrid_placement(benchmark):
+    rows = run_once(benchmark, run_hybrid_extension)
+    print()
+    print(format_hybrid(rows))
+    by_placement = {row["placement"]: row for row in rows}
+    locality = by_placement["locality"]
+    hybrid = by_placement["hybrid"]
+    naive = by_placement["hybrid-position"]
+    # Security: scattering secondaries slashes adversarial capture.
+    assert hybrid["captured_fraction"] < locality["captured_fraction"] / 5
+    # Availability under a contiguous (rack-like) outage improves.
+    assert hybrid["readable_under_arc_outage"] > locality["readable_under_arc_outage"]
+    # Bulk reads regain traditional-like fanout...
+    assert hybrid["bulk_read_fanout"] > 5 * locality["bulk_read_fanout"]
+    # ...but ONLY with rank-based hashing: the naive position-based
+    # construction collapses once balancing has clustered node IDs.
+    assert naive["bulk_read_fanout"] <= 2 * locality["bulk_read_fanout"]

@@ -1,0 +1,18 @@
+"""Figure 11: speedup of D2 over the traditional-file DHT."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig11_speedup_file import format_fig11, run_fig11
+
+
+def test_fig11_speedup_file(benchmark):
+    rows = run_once(benchmark, run_fig11)
+    print()
+    print(format_fig11(rows))
+    by_key = {(r["bandwidth_kbps"], r["mode"], r["n_nodes"]): r["speedup"] for r in rows}
+    # Paper: D2 is at worst comparable with traditional-file in seq (their
+    # seq speedups are similar at 200 nodes) and wins in para at 1500 kbps.
+    seq = [v for (bw, mode, _n), v in by_key.items() if mode == "seq"]
+    assert all(v > 0.75 for v in seq)
+    para_1500 = [v for (bw, mode, _n), v in by_key.items()
+                 if bw == 1500.0 and mode == "para"]
+    assert all(v > 1.0 for v in para_1500)

@@ -1,0 +1,18 @@
+"""Figure 12: per-user speedup distribution at the largest size."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig12_per_user_speedup import format_fig12, run_fig12
+
+
+def test_fig12_per_user_speedup(benchmark):
+    rows = run_once(benchmark, run_fig12)
+    print()
+    print(format_fig12(rows))
+    seq = [r["speedup"] for r in rows if r["mode"] == "seq"]
+    assert seq, "no per-user results"
+    winners = sum(1 for v in seq if v > 1.0)
+    # Paper: most users win; a small minority may see a mild slowdown
+    # (distant replicas), much smaller than the typical speedup.
+    assert winners / len(seq) >= 0.6
+    if min(seq) < 1.0:
+        assert min(seq) > 1.0 / max(seq)

@@ -1,0 +1,22 @@
+"""Figure 13: lookup-cache miss rates per scenario."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig13_cache_miss import format_fig13, run_fig13
+
+
+def test_fig13_cache_miss(benchmark):
+    rows = run_once(benchmark, run_fig13)
+    print()
+    print(format_fig13(rows))
+    for row in rows:
+        # Paper: D2 ~13% vs traditional >= 47%; shape requirement: a wide
+        # gap at every size, with traditional-file in between.
+        assert row["miss_rate_d2"] < row["miss_rate_traditional"] / 2.5
+        assert row["miss_rate_d2"] <= row["miss_rate_traditional-file"]
+    for mode in ("seq", "para"):
+        series = [r for r in rows if r["mode"] == mode]
+        trad = [r["miss_rate_traditional"] for r in series]
+        d2 = [r["miss_rate_d2"] for r in series]
+        # Traditional's miss rate grows with system size; D2's stays low.
+        assert trad[-1] > trad[0]
+        assert d2[-1] < 0.15

@@ -1,0 +1,17 @@
+"""Figure 14: access-group latency scatter, D2 vs traditional."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig14_latency_scatter import format_fig14, run_fig14
+
+
+def test_fig14_latency_scatter(benchmark):
+    rows = run_once(benchmark, run_fig14)
+    print()
+    print(format_fig14(rows))
+    for row in rows:
+        # Paper: the weight of the distribution lies above the diagonal.
+        assert row["fraction_above_diagonal"] > 0.5
+    seq = next(r for r in rows if r["mode"] == "seq")
+    # Paper: slow (>5 s) groups overwhelmingly complete faster in D2 (seq).
+    if seq["slow_groups"]:
+        assert seq["slow_groups_d2_wins"] >= 0.7 * seq["slow_groups"]

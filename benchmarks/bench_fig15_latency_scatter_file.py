@@ -1,0 +1,14 @@
+"""Figure 15: access-group latency scatter, D2 vs traditional-file."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig15_latency_scatter_file import format_fig15, run_fig15
+
+
+def test_fig15_latency_scatter_file(benchmark):
+    rows = run_once(benchmark, run_fig15)
+    print()
+    print(format_fig15(rows))
+    para = next(r for r in rows if r["mode"] == "para")
+    # Paper: the mass sits above the diagonal against traditional-file too
+    # (clearest in para, where trad-file cannot parallelize within files).
+    assert para["fraction_above_diagonal"] > 0.5

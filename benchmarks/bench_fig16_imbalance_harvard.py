@@ -1,0 +1,20 @@
+"""Figure 16: storage imbalance over time (Harvard)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig16_imbalance_harvard import format_fig16, summarize_fig16
+
+
+def test_fig16_imbalance_harvard(benchmark):
+    rows = run_once(benchmark, summarize_fig16)
+    print()
+    print(format_fig16(rows))
+    nsd = {row["system"]: row["mean_nsd"] for row in rows}
+    # Paper ordering: traditional-file >> traditional > D2 ~ trad+Merc.
+    assert nsd["traditional-file"] > nsd["traditional"]
+    assert nsd["d2"] < nsd["traditional"]
+    assert nsd["d2"] < 2.0 * nsd["traditional+merc"] + 0.05
+    mom = {row["system"]: row["mean_max_over_mean"] for row in rows}
+    # Paper: D2's max node load ~1.6x mean vs traditional's ~2.4x, and the
+    # t=4 threshold bounds it.
+    assert mom["d2"] < mom["traditional-file"]
+    assert mom["d2"] <= 4.0

@@ -1,0 +1,16 @@
+"""Figure 17: storage imbalance over time (Webcache)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig17_imbalance_webcache import format_fig17, summarize_fig17
+
+
+def test_fig17_imbalance_webcache(benchmark):
+    rows = run_once(benchmark, summarize_fig17)
+    print()
+    print(format_fig17(rows))
+    nsd = {row["system"]: row["mean_nsd"] for row in rows}
+    # Paper: after warm-up D2's imbalance stays below the traditional
+    # DHT's despite the extreme churn.
+    assert nsd["d2"] < nsd["traditional"]
+    moves = {row["system"]: row["moves"] for row in rows}
+    assert moves["d2"] > 0 and moves["traditional"] == 0

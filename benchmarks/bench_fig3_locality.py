@@ -1,0 +1,19 @@
+"""Figure 3: locality of traditional vs ordered vs lower-bound placement."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3_locality import format_fig3, run_fig3
+
+
+def test_fig3_locality(benchmark):
+    rows = run_once(benchmark, run_fig3)
+    print()
+    print(format_fig3(rows))
+    by_key = {(r["workload"], r["scenario"]): r for r in rows}
+    for workload in ("hp-synth", "harvard-synth", "web-synth"):
+        ordered = by_key[(workload, "ordered")]["normalized"]
+        bound = by_key[(workload, "lower-bound")]["normalized"]
+        # Paper: ordered reduces nodes-contacted ~10x vs traditional...
+        assert ordered < 0.25, f"{workload}: ordered not local enough"
+        # ...and sits within an order of magnitude of the lower bound.
+        assert ordered <= 10 * bound + 1e-9
+        assert bound <= ordered + 1e-9

@@ -1,0 +1,17 @@
+"""Figure 8: per-user unavailability, ranked."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8_per_user import format_fig8, run_fig8
+
+
+def test_fig8_per_user(benchmark):
+    rows = run_once(benchmark, run_fig8)
+    print()
+    print(format_fig8(rows))
+    affected = {
+        row["system"]: row["unavailability"]
+        for row in rows
+        if row["rank"] == "affected-users"
+    }
+    # Paper: D2 concentrates failures in fewer users than traditional.
+    assert affected.get("d2", 0) <= affected.get("traditional", 0)

@@ -1,0 +1,23 @@
+"""Figure 9: lookup messages per node vs system size."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9_lookup_traffic import format_fig9, run_fig9
+
+
+def test_fig9_lookup_traffic(benchmark):
+    rows = run_once(benchmark, run_fig9)
+    print()
+    print(format_fig9(rows))
+    for row in rows:
+        trad = row["msgs_per_node_traditional"]
+        d2 = row["msgs_per_node_d2"]
+        tfile = row["msgs_per_node_traditional-file"]
+        # Paper: D2 sends a small fraction of the traditional DHT's lookup
+        # traffic (<1/20 at 1000 nodes; >=4x less at bench scale), with
+        # traditional-file in between.
+        assert d2 < trad / 4.0
+        assert d2 <= tfile
+    # D2's per-node traffic decreases (weakly) with system size.
+    for mode in ("seq", "para"):
+        series = [r["msgs_per_node_d2"] for r in rows if r["mode"] == mode]
+        assert series[-1] <= series[0]

@@ -1,0 +1,18 @@
+"""Table 1: workload summaries (generated traces)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1_workloads import format_table1, run_table1
+
+
+def test_table1_workloads(benchmark):
+    rows = run_once(benchmark, run_table1)
+    print()
+    print(format_table1(rows))
+    by_name = {row["workload"]: row for row in rows}
+    # Shape: every workload spans the configured window and sees far more
+    # accesses than users; Harvard carries the (scaled) tens of MB of
+    # active data the dynamic experiments need.
+    for row in rows:
+        assert row["duration_days"] > 0.5
+        assert row["accesses"] > 100 * row["users"]
+    assert by_name["harvard-synth"]["active_mb"] > 10

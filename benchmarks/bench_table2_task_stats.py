@@ -1,0 +1,20 @@
+"""Table 2: mean objects and nodes accessed per task."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2_tasks import format_table2, run_table2
+
+
+def test_table2_task_stats(benchmark):
+    rows = run_once(benchmark, run_table2)
+    print()
+    print(format_table2(rows))
+    for row in rows:
+        # Paper shape: blocks >> files; node spread ordering
+        # D2 << traditional-file < traditional; D2 stays a small constant.
+        assert row["blocks_per_task"] > 2 * row["files_per_task"]
+        assert row["nodes_d2"] < row["nodes_traditional-file"]
+        assert row["nodes_traditional-file"] < row["nodes_traditional"]
+        assert row["nodes_d2"] <= 6
+    # Spread grows (weakly) with inter for the traditional DHT.
+    trad = [row["nodes_traditional"] for row in rows]
+    assert trad == sorted(trad)

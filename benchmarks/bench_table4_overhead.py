@@ -1,0 +1,23 @@
+"""Table 4: write traffic vs migration traffic."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table4_overhead import (
+    format_table4,
+    migration_over_write,
+    run_table4,
+)
+
+
+def test_table4_overhead(benchmark):
+    rows = run_once(benchmark, run_table4)
+    print()
+    print(format_table4(rows))
+    ratios = migration_over_write()
+    print(f"total L/W: harvard={ratios['harvard']:.2f} "
+          f"webcache={ratios['webcache']:.2f}")
+    # Paper: Harvard migration ~50% of write volume; Webcache ~slightly
+    # above parity.  Shape: both stay within small constant factors of the
+    # write volume (pointers prevent multi-x blowup), and webcache churn
+    # does not make migration explode past ~2x writes.
+    assert ratios["harvard"] < 1.5
+    assert ratios["webcache"] < 2.0

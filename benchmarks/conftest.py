@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one of the paper's tables/figures at laptop scale,
+prints the paper-comparable report, and asserts the *shape* claims (who
+wins, by roughly what factor, where crossovers fall).  Expensive simulation
+matrices are shared across benches through the process-wide experiment
+cache, mirroring how the paper derives several figures from one testbed
+run.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Time one full experiment run (no warmup repetitions — these are
+    minutes-long simulations, not microbenchmarks)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

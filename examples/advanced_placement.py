@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Beyond the paper: hybrid placement, erasure codes, and hot-spot caches.
+
+The paper closes (Section 11) by sketching how D2's weaknesses in hostile
+or large-file settings could be fixed without giving up defragmentation.
+This example drives the three extension mechanisms this repo implements:
+
+1. **hybrid replica placement** — locality primary + rank-hashed
+   secondaries: an attacker squatting a ring arc no longer captures whole
+   files, and bulk reads of large files regain wide fan-out;
+2. **erasure coding** — (m, k) fragments instead of copies: the same
+   defragmentation advantage at lower storage cost;
+3. **retrieval caches** — a Zipf-hot file stops melting its replica group.
+
+Run:  python examples/advanced_placement.py
+"""
+
+import random
+
+from repro.core.hybrid import (
+    arc_capture_exposure,
+    parallel_read_fanout,
+)
+from repro.core.system import build_deployment
+from repro.fs.blocks import BLOCK_SIZE
+from repro.store.erasure import ErasureConfig, group_availability_probability
+from repro.store.retrieval_cache import RetrievalCacheLayer, replica_only_service
+
+
+def main() -> None:
+    deployment = build_deployment("d2", 48, seed=21)
+    deployment.bootstrap_volume()
+    deployment.apply_fs_ops(deployment.fs.makedirs("/data"))
+    for i in range(15):
+        deployment.apply_fs_ops(
+            deployment.fs.create(f"/data/doc{i:02d}", size=4 * BLOCK_SIZE)
+        )
+    deployment.stabilize()
+    deployment.apply_fs_ops(
+        deployment.fs.create("/data/dataset.bin", size=48 * BLOCK_SIZE)
+    )
+    rng = random.Random(5)
+
+    print("== 1. Hybrid replica placement (Section 11 future work) ==")
+    keys = []
+    for i in range(15):
+        keys.extend(k for k, _ in deployment.read_fetches(f"/data/doc{i:02d}"))
+    for placement in ("locality", "hybrid"):
+        captured = arc_capture_exposure(
+            deployment.ring, keys, 3, placement=placement, arc_nodes=3,
+            trials=100, rng=random.Random(1),
+        )
+        print(f"   {placement:9s}: adversary squatting 3 consecutive ring "
+              f"positions fully owns {captured:.2%} of a user's blocks")
+    big = [k for k, _ in deployment.read_fetches("/data/dataset.bin")]
+    for placement in ("locality", "hybrid"):
+        fanout = parallel_read_fanout(deployment.ring, big, 3, placement=placement)
+        print(f"   {placement:9s}: a 384 KB bulk read can use {fanout} uploaders")
+
+    print("\n== 2. Erasure coding at matched storage cost ==")
+    p = 0.92  # per-node availability in a rough week
+    for label, config in (
+        ("3x replication", ErasureConfig.replication(3)),
+        ("(6,2) code    ", ErasureConfig(6, 2)),
+        ("(4,2) code    ", ErasureConfig(4, 2)),
+    ):
+        availability = group_availability_probability(config, p)
+        print(f"   {label}: storage {config.storage_overhead:.1f}x, "
+              f"P(block readable) = {availability:.6f}")
+    print("   -> (6,2) buys ~an extra nine over replication at the same cost;")
+    print("      D2 needs few groups per task, so the gain compounds less —")
+    print("      defragmentation, not redundancy, is doing the heavy lifting.")
+
+    print("\n== 3. Retrieval caches under a flash crowd ==")
+    hot_key = keys[0]
+    requests = [
+        (hot_key, deployment.node_names[rng.randrange(48)]) for _ in range(3000)
+    ]
+    baseline = replica_only_service(deployment.ring, requests,
+                                    rng=random.Random(2))
+    counts = list(baseline.values())
+    base_factor = max(counts) / (sum(counts) / len(counts))
+    layer = RetrievalCacheLayer(deployment.ring, rng=random.Random(2))
+    for i, (key, client) in enumerate(requests):
+        layer.serve(key, client, now=i * 0.1)
+    print(f"   without caches: hottest node serves {base_factor:.1f}x the mean")
+    print(f"   with caches:    {layer.hot_spot_factor():.1f}x the mean "
+          f"({layer.stats.cache_fraction:.0%} of requests served from caches)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Cooperative web cache (Squirrel) on D2: the extreme-churn stress test.
+
+Section 10's second workload: clients use the DHT as a shared web cache —
+insert on miss, evict stale content daily, replace on origin change.  The
+data distribution shifts violently (whole sites appear and disappear), so
+this is the hardest case for D2's locality-preserving placement: the
+balancer must chase a moving key distribution.
+
+The example runs the webcache workload through D2 and the traditional DHT
+side by side and reports cache behaviour, storage balance, and the
+migration bill (the Figure 17 / Tables 3-4 experiment at example scale).
+
+Run:  python examples/cooperative_web_cache.py
+"""
+
+from repro.analysis.balance import run_webcache_balance
+from repro.workloads.web import WebConfig, generate_web
+
+N_NODES = 32
+DAYS = 2.0
+
+
+def main() -> None:
+    print("== Generating a web trace ==")
+    trace = generate_web(WebConfig(users=24, days=DAYS, sites=30, seed=9))
+    stats = trace.stats()
+    print(f"   {stats['users']} clients, {stats['accesses']} requests to "
+          f"{stats['active_files']} objects "
+          f"({stats['active_bytes'] / 1e6:.0f} MB)")
+
+    print(f"\n== Running the DHT-as-web-cache on {N_NODES} nodes ==")
+    results = {
+        system: run_webcache_balance(trace, system, n_nodes=N_NODES, seed=3)
+        for system in ("d2", "traditional")
+    }
+
+    print("\n   storage balance over time (normalized stddev; lower = flatter):")
+    print(f"   {'system':12s} {'mean nsd':>9s} {'max/mean':>9s} {'ID moves':>9s}")
+    for system, result in results.items():
+        print(f"   {system:12s} {result.mean_nsd():9.2f} "
+              f"{result.mean_max_over_mean():9.1f} {result.moves:9d}")
+
+    d2 = results["d2"]
+    print("\n   daily churn (D2): bytes written vs bytes present at day start")
+    for row in d2.churn_rows():
+        ratio = row["write_ratio"]
+        shown = f"{ratio:.2f}" if ratio != float("inf") else "inf (cold start)"
+        print(f"      day {row['day']}: W/T = {shown}")
+
+    print("\n   the migration bill:")
+    print(f"      bytes written:  {sum(d2.daily_written) / 1e6:8.1f} MB")
+    print(f"      bytes migrated: {sum(d2.daily_migrated) / 1e6:8.1f} MB "
+          f"(L/W = {d2.migration_over_write():.2f}; pointers keep this near "
+          f"parity even at webcache churn)")
+
+    print("\n   takeaway: even when the entire cached population turns over "
+          "daily, D2 holds storage balance close to consistent hashing's "
+          "while preserving per-site locality for readers.")
+
+
+if __name__ == "__main__":
+    main()

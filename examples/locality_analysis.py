@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""How much locality is there to harvest?  (The Section 4.1 analysis.)
+
+Before building any of D2, the paper asks whether simple name-space
+ordering can capture most of the locality in real workloads.  This example
+repeats that analysis on the three generated workloads: for each, it
+compares the number of nodes a user must touch per hour under
+
+* traditional  — uniformly hashed block placement,
+* ordered      — blocks sorted by name and packed onto nodes,
+* lower-bound  — the information-theoretic floor for that user's traffic.
+
+Run:  python examples/locality_analysis.py
+"""
+
+from repro.analysis.locality import analyze_locality
+from repro.workloads.harvard import HarvardConfig, generate_harvard
+from repro.workloads.hp import HPConfig, generate_hp
+from repro.workloads.web import WebConfig, generate_web
+
+
+def main() -> None:
+    traces = [
+        generate_hp(HPConfig(applications=8, days=1.0, seed=2)),
+        generate_harvard(HarvardConfig(users=8, days=1.0, seed=2)),
+        generate_web(WebConfig(users=20, days=1.0, sites=40, seed=2)),
+    ]
+    print(f"{'workload':16s} {'scenario':13s} {'nodes/user-hr':>13s} "
+          f"{'vs traditional':>15s}")
+    print("-" * 60)
+    for trace in traces:
+        # Scale node capacity so the universe spans ~64 nodes (the paper's
+        # 32,000-block nodes would swallow a laptop-scale trace whole).
+        from repro.analysis.locality import trace_block_accesses
+
+        universe = set()
+        for entries in trace_block_accesses(trace).values():
+            universe.update(block for _, block in entries)
+        result = analyze_locality(
+            trace, blocks_per_node=max(16, len(universe) // 64)
+        )
+        for row in result.rows():
+            print(f"{row['workload']:16s} {row['scenario']:13s} "
+                  f"{row['nodes_per_user_hour']:13.2f} "
+                  f"{row['normalized']:15.3f}")
+        print()
+    print("Reading: 'ordered' lands within ~10x of the unreachable lower")
+    print("bound while cutting the traditional DHT's spread by ~10x — the")
+    print("observation that justifies D2's simple key encoding.")
+
+
+if __name__ == "__main__":
+    main()

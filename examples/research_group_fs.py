@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Research-group file system: availability under a bad week.
+
+The paper's motivating deployment — a research group's NFS volume served
+from a community of unreliable nodes.  This example generates a
+Harvard-like workload, replays it through D2 and both consistent-hashing
+baselines under a failure-heavy synthetic "PlanetLab week", and reports
+how often users' tasks fail in each system (the Figure 7 experiment at
+example scale), including the per-user view (Figure 8).
+
+Run:  python examples/research_group_fs.py
+"""
+
+import random
+
+from repro.analysis.availability import (
+    evaluate_tasks,
+    matching_failure_trace,
+    run_availability_replay,
+)
+from repro.sim.failures import FailureTraceConfig
+from repro.workloads.harvard import HarvardConfig, generate_harvard
+from repro.workloads.trace import SECONDS_PER_DAY
+
+N_NODES = 60
+DAYS = 1.5
+INTER = 5.0
+
+
+def main() -> None:
+    print("== Generating a research-group NFS workload ==")
+    trace = generate_harvard(HarvardConfig(users=8, days=DAYS, seed=17))
+    stats = trace.stats()
+    print(f"   {stats['users']} users, {stats['accesses']} accesses, "
+          f"{stats['active_bytes'] / 1e6:.0f} MB active data over "
+          f"{stats['duration_days']:.1f} days")
+
+    print("\n== Generating a failure-heavy week ==")
+    failures = matching_failure_trace(
+        N_NODES,
+        random.Random(5),
+        FailureTraceConfig(
+            duration=DAYS * SECONDS_PER_DAY,
+            mttf=2.5 * SECONDS_PER_DAY,
+            mttr=6 * 3600.0,
+            correlated_events=3,
+            correlated_fraction=0.2,
+            correlated_repair=3 * 3600.0,
+        ),
+    )
+    print(f"   mean node availability: {failures.mean_availability():.1%} "
+          f"({len(failures.events)} up/down transitions)")
+
+    print(f"\n== Replaying through each system ({N_NODES} nodes, r = 3) ==")
+    results = {}
+    for system in ("d2", "traditional-file", "traditional"):
+        log = run_availability_replay(
+            trace, failures, system, trial=0, regeneration_delay=2 * 3600.0
+        )
+        results[system] = evaluate_tasks(trace, log, INTER)
+
+    print(f"\n   task availability (inter = {INTER:.0f} s):")
+    print(f"   {'system':18s} {'tasks':>6s} {'failed':>7s} {'unavailability':>15s} "
+          f"{'nodes/task':>11s}")
+    for system, result in results.items():
+        print(f"   {system:18s} {result.tasks:6d} {result.failed_tasks:7d} "
+              f"{result.unavailability:15.2e} {result.mean_nodes_per_task:11.1f}")
+
+    print("\n== Who feels the failures? (per-user, ranked) ==")
+    for system in ("d2", "traditional"):
+        ranked = results[system].ranked_user_unavailability()
+        affected = [(user, value) for user, value in ranked if value > 0]
+        print(f"   {system}: {len(affected)} of {len(ranked)} users ever see a "
+              f"failed task")
+        for user, value in affected[:3]:
+            print(f"       {user}: {value:.2e}")
+
+    d2, trad = results["d2"], results["traditional"]
+    if trad.unavailability > 0 and d2.unavailability == 0:
+        print(f"\n   D2 had no failed tasks at all this week (traditional lost "
+              f"{trad.failed_tasks}), because each task touches only "
+              f"{d2.mean_nodes_per_task:.1f} nodes instead of "
+              f"{trad.mean_nodes_per_task:.1f}.")
+    elif trad.unavailability > 0:
+        factor = trad.unavailability / d2.unavailability
+        print(f"\n   D2 reduces task unavailability by about {factor:.0f}x, by "
+              f"touching {d2.mean_nodes_per_task:.1f} nodes per task instead of "
+              f"{trad.mean_nodes_per_task:.1f}.")
+
+
+if __name__ == "__main__":
+    main()

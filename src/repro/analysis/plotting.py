@@ -1,0 +1,138 @@
+"""Terminal plotting helpers for the time-series figures.
+
+Figures 16 and 17 are imbalance-over-time curves; the scatter figures
+(14, 15) are latency clouds.  This module renders both as plain-text
+charts so `python -m repro fig16` (and the benches) can show the *shape*
+the paper plots, not just summary statistics.  No plotting dependencies —
+everything is ASCII.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_timeseries(
+    series: Dict[str, Sequence[Point]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "time",
+    y_label: str = "value",
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Each series gets a mark character; the legend maps marks to names.
+    Overlapping points show the later series' mark.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return f"{title}\n(no data)"
+    x_min = min(x for x, _ in points)
+    x_max = max(x for x, _ in points)
+    y_min = 0.0
+    y_max = max(y for _, y in points)
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in values:
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    for i, row in enumerate(grid):
+        prefix = top_label.rjust(8) if i == 0 else (
+            f"{y_min:.3g}".rjust(8) if i == height - 1 else " " * 8
+        )
+        lines.append(f"{prefix} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"{x_min:.3g}".ljust(width // 2)
+        + f"{x_max:.3g} ({x_label})".rjust(width // 2)
+    )
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{y_label}: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    pairs: Sequence[Point],
+    *,
+    width: int = 56,
+    height: int = 24,
+    x_label: str = "baseline (s)",
+    y_label: str = "d2 (s)",
+    title: str = "",
+    log: bool = True,
+) -> str:
+    """Render (x, y) latency pairs with the y=x diagonal (paper Figs 14-15).
+
+    With ``log`` the axes are logarithmic, as in the paper; points at or
+    below zero are clamped to the smallest positive value.
+    """
+    if not pairs:
+        return f"{title}\n(no data)"
+    positive = [max(x, 1e-4) for x, _ in pairs] + [max(y, 1e-4) for _, y in pairs]
+    lo, hi = min(positive), max(positive)
+    if hi <= lo:
+        hi = lo * 10
+
+    def scale(value: float, cells: int) -> int:
+        value = max(value, 1e-4)
+        if log:
+            fraction = (math.log10(value) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        else:
+            fraction = (value - lo) / (hi - lo)
+        return min(cells - 1, max(0, int(fraction * (cells - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    # Diagonal (x == y): where a group is equally fast in both systems.
+    for col in range(width):
+        row = int(col / (width - 1) * (height - 1))
+        grid[height - 1 - row][col] = "."
+    above = below = 0
+    for x, y in pairs:
+        col = scale(x, width)
+        row = scale(y, height)
+        grid[height - 1 - row][col] = "o"
+        if y < x:
+            above += 1
+        elif y > x:
+            below += 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   x: {x_label} [{lo:.3g}, {hi:.3g}]  y: {y_label}"
+                 f"  ('.' = diagonal)")
+    lines.append(
+        f"   faster in D2 (below diagonal here): {above}; slower: {below}"
+    )
+    return "\n".join(lines)
+
+
+def timeseries_from_samples(samples, value) -> List[Point]:
+    """(time-in-days, metric) points from BalanceSample lists."""
+    return [(s.time / 86400.0, value(s)) for s in samples]

@@ -1,0 +1,297 @@
+"""Deployment facade: a complete simulated DHT file system.
+
+A :class:`Deployment` wires together everything one of the paper's
+comparison systems needs — ring, storage coordinator, file-system layer,
+key scheme, and (for D2 and Traditional+Merc) the active load balancer —
+behind the small API the examples and experiment drivers use:
+
+>>> d = build_deployment("d2", n_nodes=64, seed=1)
+>>> _ = d.bootstrap_volume()
+>>> _ = d.apply_fs_ops(d.fs.makedirs("/home/alice"))
+>>> _ = d.apply_fs_ops(d.fs.create("/home/alice/notes.txt", size=40_000))
+>>> fetches = d.read_fetches("/home/alice/notes.txt")
+>>> len({d.ring.successor(key) for key, _ in fetches}) <= 3   # locality!
+True
+
+Systems
+-------
+``d2``
+    Locality-preserving keys + Karger–Ruhl balancing + pointers.
+``traditional``
+    One hashed key per block, consistent hashing, no balancing.
+``traditional-file``
+    One hashed key per file, consistent hashing, no balancing.
+``traditional+merc``
+    Hashed block keys *plus* active balancing (Figure 16's reference line).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import D2Config
+from repro.core.lookup_cache import LookupCache
+from repro.dht.consistent_hashing import random_node_ids
+from repro.dht.load_balance import KargerRuhlBalancer
+from repro.dht.ring import Ring
+from repro.fs.blocks import (
+    INLINE_DATA_THRESHOLD,
+    BlockKind,
+    blocks_covering,
+    data_block_sizes,
+    inode_size,
+)
+from repro.fs.fslayer import BlockOp, DhtFileSystem, apply_ops
+from repro.fs.keyschemes import make_scheme
+from repro.fs.namespace import NamespaceError
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.store.migration import StorageCoordinator
+from repro.workloads.trace import (
+    CREATE,
+    DELETE,
+    MKDIR,
+    READ,
+    RENAME,
+    Trace,
+    TraceRecord,
+    WRITE,
+)
+
+SYSTEMS = ("d2", "traditional", "traditional-file", "traditional+merc")
+
+
+@dataclass
+class ReplayOutcome:
+    """What replaying one trace record needed and did.
+
+    ``fetches``/``stores`` are ``(key, nbytes)`` pairs: the DHT reads a
+    read record required, or the DHT writes a mutation implied (data and
+    inode blocks; directory metadata is assumed client-cached for
+    dependency purposes, matching the paper's task-availability model).
+    ``files`` is the number of distinct files touched (Table 2).
+    """
+
+    record: TraceRecord
+    fetches: List[Tuple[int, int]] = field(default_factory=list)
+    stores: List[Tuple[int, int]] = field(default_factory=list)
+    files: int = 0
+    skipped: bool = False
+
+    @property
+    def keys(self) -> List[int]:
+        return [key for key, _ in self.fetches] + [key for key, _ in self.stores]
+
+    @property
+    def blocks(self) -> int:
+        return len(self.fetches) + len(self.stores)
+
+
+class Deployment:
+    """One simulated system instance (see module docstring)."""
+
+    def __init__(self, system: str, config: D2Config, seed: int, n_nodes: int,
+                 volume: str = "vol") -> None:
+        if system not in SYSTEMS:
+            raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+        self.system = system
+        self.config = config.validate()
+        self.rng = random.Random(seed)
+        self.sim = Simulator()
+        self.ring = Ring()
+        self.node_names = [f"node{i:04d}" for i in range(n_nodes)]
+        for name, node_id in zip(self.node_names, random_node_ids(n_nodes, self.rng)):
+            self.ring.join(name, node_id)
+        self.store = StorageCoordinator(
+            self.ring,
+            self.sim,
+            pointer_stabilization_time=config.pointer_stabilization_time,
+            use_pointers=config.use_pointers,
+            removal_delay=config.removal_delay,
+            replica_count=config.replica_count,
+        )
+        scheme_name = "traditional" if system == "traditional+merc" else system
+        self.fs = DhtFileSystem(make_scheme(scheme_name, volume))
+        self.balancer: Optional[KargerRuhlBalancer] = None
+        if system in ("d2", "traditional+merc") and config.active_load_balancing:
+            self.balancer = KargerRuhlBalancer(
+                self.ring,
+                self.store,
+                threshold=config.balance_threshold,
+                rng=random.Random(seed + 1),
+            )
+        self._probe_task: Optional[PeriodicTask] = None
+        self._lookup_caches: Dict[str, LookupCache] = {}
+
+    # ------------------------------------------------------------------
+    # setup
+
+    def bootstrap_volume(self) -> List[BlockOp]:
+        ops = self.fs.format()
+        apply_ops(self.store, ops)
+        return ops
+
+    def load_initial_image(self, trace: Trace) -> None:
+        """Insert a trace's initial directories and files into the DHT."""
+        self.bootstrap_volume()
+        for directory in trace.initial_dirs:
+            if not self.fs.namespace.exists(directory):
+                apply_ops(self.store, self.fs.makedirs(directory))
+        for path, size in trace.initial_files:
+            parent = path.rsplit("/", 1)[0] or "/"
+            if parent != "/" and not self.fs.namespace.exists(parent):
+                apply_ops(self.store, self.fs.makedirs(parent))
+            apply_ops(self.store, self.fs.create(path, size=size))
+
+    def stabilize(self, max_rounds: int = 300) -> int:
+        """Run balancing to convergence and materialize all pointers.
+
+        Mirrors the paper's initialization: "the load balancing process is
+        simulated for 3 days so that node positions stabilize".  No-op for
+        systems without a balancer.
+        """
+        if self.balancer is None:
+            return 0
+        rounds = self.balancer.balance_until_stable(max_rounds=max_rounds)
+        self.store.flush_all_pointers()
+        return rounds
+
+    def start_periodic_balancing(self) -> None:
+        """Schedule probe rounds every probe interval on the simulator."""
+        if self.balancer is None or self._probe_task is not None:
+            return
+        jitter = lambda: self.rng.uniform(-0.05, 0.05) * self.config.probe_interval
+        self._probe_task = self.sim.schedule_periodic(
+            self.config.probe_interval,
+            lambda: self.balancer.probe_round(self.sim.now),
+            jitter=jitter,
+        )
+
+    def stop_periodic_balancing(self) -> None:
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            self._probe_task = None
+
+    def lookup_cache_for(self, client: str) -> LookupCache:
+        cache = self._lookup_caches.get(client)
+        if cache is None:
+            cache = LookupCache(ttl=self.config.lookup_cache_ttl)
+            self._lookup_caches[client] = cache
+        return cache
+
+    # ------------------------------------------------------------------
+    # FS plumbing
+
+    def apply_fs_ops(self, ops: Sequence[BlockOp]) -> Dict[str, int]:
+        return apply_ops(self.store, ops)
+
+    def read_fetches(self, path: str, offset: int = 0,
+                     length: Optional[int] = None) -> List[Tuple[int, int]]:
+        """(key, nbytes) the DHT must serve for a read (inode + data).
+
+        Under traditional-file all pairs share the file's single key but
+        remain per-block, so transfer accounting still sees 8 KB units.
+        """
+        node = self.fs.namespace.resolve_file(path)
+        if length is None or length <= 0:
+            length = node.size
+        fetches: List[Tuple[int, int]] = [
+            (self.fs.scheme.file_block_key(node, 0, node.version), inode_size(node.size))
+        ]
+        if node.size > INLINE_DATA_THRESHOLD and length > 0:
+            sizes = data_block_sizes(node.size)
+            for number in blocks_covering(offset, length, node.size):
+                version = node.block_versions.get(number, node.version)
+                fetches.append(
+                    (self.fs.scheme.file_block_key(node, number, version), sizes[number - 1])
+                )
+        return fetches
+
+    # ------------------------------------------------------------------
+    # trace replay
+
+    def replay_record(self, record: TraceRecord) -> ReplayOutcome:
+        """Apply one trace record; returns the DHT work it implied.
+
+        Mutations change FS and store state; reads only report fetches.
+        Records referencing paths that do not exist (cross-user timing
+        races in a synthetic trace) are skipped and flagged.
+        """
+        outcome = ReplayOutcome(record=record)
+        try:
+            if record.op == READ:
+                outcome.fetches = self.read_fetches(
+                    record.path, record.offset, record.length or None
+                )
+                outcome.files = 1
+            elif record.op == WRITE:
+                if not self.fs.namespace.exists(record.path):
+                    ops = self.fs.create(record.path, size=record.offset + record.length)
+                else:
+                    ops = self.fs.write(record.path, record.offset, record.length)
+                self.apply_fs_ops(ops)
+                outcome.stores = _file_block_puts(ops)
+                outcome.files = 1
+            elif record.op == CREATE:
+                ops = self.fs.create(record.path, size=record.size)
+                self.apply_fs_ops(ops)
+                outcome.stores = _file_block_puts(ops)
+                outcome.files = 1
+            elif record.op == DELETE:
+                self.apply_fs_ops(self.fs.remove(record.path))
+            elif record.op == MKDIR:
+                if not self.fs.namespace.exists(record.path):
+                    self.apply_fs_ops(self.fs.makedirs(record.path))
+            elif record.op == RENAME:
+                self.apply_fs_ops(self.fs.rename(record.path, record.dst_path))
+        except NamespaceError:
+            outcome.skipped = True
+        return outcome
+
+    def advance_to(self, time: float) -> None:
+        """Run the simulator (removals, stabilizations, probes) up to *time*."""
+        if time > self.sim.now:
+            self.sim.run(until=time)
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    def load_snapshot(self) -> Dict[str, int]:
+        """Per-node total stored blocks (primary + secondary)."""
+        return self.store.total_loads()
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "system": self.system,
+            "nodes": len(self.ring),
+            "blocks": len(self.store.directory),
+            "bytes": self.store.directory.total_bytes,
+            "balancer_moves": self.store.moves_executed,
+            "pointer_blocks": self.store.pointer_block_count(),
+        }
+
+
+def _file_block_puts(ops: Sequence[BlockOp]) -> List[Tuple[int, int]]:
+    """Put ops that are per-file dependencies: data blocks and the inode.
+
+    Directory/root metadata is excluded from task dependencies (clients
+    cache it), matching the availability model of Section 8.
+    """
+    return [
+        (op.key, op.size)
+        for op in ops
+        if op.action == "put" and op.kind in (BlockKind.DATA, BlockKind.INODE)
+    ]
+
+
+def build_deployment(
+    system: str,
+    n_nodes: int,
+    *,
+    config: Optional[D2Config] = None,
+    seed: int = 0,
+    volume: str = "vol",
+) -> Deployment:
+    """Construct a deployment with paper-default configuration."""
+    return Deployment(system, config or D2Config(), seed, n_nodes, volume=volume)

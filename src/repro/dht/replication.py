@@ -1,0 +1,77 @@
+"""Replica placement helpers (r immediate successors).
+
+D2-Store replicates every block on the ``r`` immediate successors of its
+key (Section 3): the first is the *primary* replica, the rest *secondary*.
+This module provides the placement queries shared by the availability
+simulator and the static locality analyses.  Replica *dynamics* (who has
+finished regenerating after a failure) live with the availability harness
+in :mod:`repro.analysis.availability`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.dht.ring import Ring
+
+
+def replica_group(ring: Ring, key: int, replicas: int) -> List[str]:
+    """The ``replicas`` distinct nodes holding *key*, primary first."""
+    return ring.successors(key, replicas)
+
+
+def replica_groups_for_keys(
+    ring: Ring, keys: Iterable[int], replicas: int
+) -> Set[Tuple[str, ...]]:
+    """Distinct replica groups touched by a set of keys.
+
+    A task that needs ``k`` keys touching ``g`` distinct replica groups
+    succeeds iff each of those ``g`` groups has at least one live member —
+    the quantity behind Table 2 and the availability model in Section 8.2.
+    """
+    groups = set()
+    for key in keys:
+        groups.add(tuple(replica_group(ring, key, replicas)))
+    return groups
+
+
+def nodes_for_keys(ring: Ring, keys: Iterable[int], replicas: int = 1) -> Set[str]:
+    """Distinct nodes a client contacts to fetch *keys* (primaries only by
+    default; pass ``replicas`` to count any-replica download choices)."""
+    nodes: Set[str] = set()
+    for key in keys:
+        if replicas == 1:
+            nodes.add(ring.successor(key))
+        else:
+            nodes.update(ring.successors(key, replicas))
+    return nodes
+
+
+def placement_loads(ring: Ring, keys: Iterable[int], replicas: int) -> Dict[str, int]:
+    """Total (primary + secondary) block count per node for a key set."""
+    loads: Counter = Counter()
+    for key in keys:
+        for name in ring.successors(key, replicas):
+            loads[name] += 1
+    for name in ring.names():
+        loads.setdefault(name, 0)
+    return dict(loads)
+
+
+def placement_bytes(
+    ring: Ring, sized_keys: Iterable[Tuple[int, int]], replicas: int
+) -> Dict[str, int]:
+    """Total byte volume per node for ``(key, size)`` pairs."""
+    loads: Counter = Counter()
+    for key, size in sized_keys:
+        for name in ring.successors(key, replicas):
+            loads[name] += size
+    for name in ring.names():
+        loads.setdefault(name, 0)
+    return dict(loads)
+
+
+def group_available(alive: Set[str], group: Sequence[str]) -> bool:
+    """A replica group serves reads while any member is alive."""
+    return any(member in alive for member in group)

@@ -1,0 +1,209 @@
+"""Ring membership: sorted node IDs, successor lookup, replica groups.
+
+The ring is the one data structure shared by every DHT variant in this
+reproduction.  Nodes are identified by a stable *name* (they keep it for
+life) and occupy a ring *position* (their current ID), which the dynamic
+load balancer may change.  Under consistent hashing positions never change;
+under D2's Karger–Ruhl balancing a node leaves and rejoins at a new
+position.
+
+Ownership rule: the node at position ``p`` whose predecessor sits at ``q``
+owns the half-open circular arc ``(q, p]``.  A key's *replica group* is its
+owner plus the next ``r - 1`` distinct successors (the paper's ``r``
+immediate successors; the first is the primary replica).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.dht.keyspace import KEY_SPACE, in_interval, validate_key
+
+
+class RingError(Exception):
+    """Raised on invalid membership operations (duplicate joins, etc.)."""
+
+
+class Ring:
+    """Sorted ring of named nodes supporting O(log n) successor lookup."""
+
+    def __init__(self) -> None:
+        self._ids: List[int] = []            # sorted ring positions
+        self._names: List[str] = []          # names parallel to _ids
+        self._position: Dict[str, int] = {}  # name -> current ring position
+
+    # ------------------------------------------------------------------
+    # membership
+
+    def join(self, name: str, node_id: int) -> None:
+        """Add node *name* at ring position *node_id*.
+
+        Positions must be unique; callers that derive positions from data
+        (e.g. load-balancing split points) should use
+        :meth:`free_position_at` first.
+        """
+        validate_key(node_id)
+        if name in self._position:
+            raise RingError(f"node {name!r} already joined")
+        index = bisect.bisect_left(self._ids, node_id)
+        if index < len(self._ids) and self._ids[index] == node_id:
+            raise RingError(f"ring position {node_id:#x} already occupied")
+        self._ids.insert(index, node_id)
+        self._names.insert(index, name)
+        self._position[name] = node_id
+
+    def leave(self, name: str) -> int:
+        """Remove node *name*; returns the position it vacated."""
+        node_id = self._require(name)
+        index = bisect.bisect_left(self._ids, node_id)
+        del self._ids[index]
+        del self._names[index]
+        del self._position[name]
+        return node_id
+
+    def change_position(self, name: str, new_id: int) -> Tuple[int, int]:
+        """Atomically move *name* to *new_id* (leave + rejoin).
+
+        Returns ``(old_id, new_id)``.  This is how the load balancer
+        implements an ID change.
+        """
+        old_id = self.leave(name)
+        try:
+            self.join(name, new_id)
+        except RingError:
+            self.join(name, old_id)  # restore on failure so the ring stays valid
+            raise
+        return old_id, new_id
+
+    def free_position_at(self, desired: int) -> int:
+        """Nearest unoccupied position at or clockwise-before *desired*.
+
+        Split points computed from block keys can coincide with an existing
+        node position; stepping counter-clockwise keeps the intended load
+        split (the blocks at exactly *desired* stay with the new node).
+        """
+        validate_key(desired)
+        candidate = desired
+        while self.occupied(candidate):
+            candidate = (candidate - 1) % KEY_SPACE
+        return candidate
+
+    def occupied(self, node_id: int) -> bool:
+        index = bisect.bisect_left(self._ids, node_id)
+        return index < len(self._ids) and self._ids[index] == node_id
+
+    # ------------------------------------------------------------------
+    # lookup
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._position
+
+    def names(self) -> Iterator[str]:
+        """Node names in ring order (ascending position)."""
+        return iter(list(self._names))
+
+    def positions(self) -> Sequence[int]:
+        """Snapshot of sorted ring positions."""
+        return tuple(self._ids)
+
+    def position_of(self, name: str) -> int:
+        return self._require(name)
+
+    def name_at(self, node_id: int) -> str:
+        index = bisect.bisect_left(self._ids, node_id)
+        if index >= len(self._ids) or self._ids[index] != node_id:
+            raise RingError(f"no node at position {node_id:#x}")
+        return self._names[index]
+
+    def successor_index(self, key: int) -> int:
+        """Index (into ring order) of the owner of *key*."""
+        if not self._ids:
+            raise RingError("ring is empty")
+        validate_key(key)
+        index = bisect.bisect_left(self._ids, key)
+        return index % len(self._ids)
+
+    def successor(self, key: int) -> str:
+        """Name of the node that owns *key* (its immediate successor)."""
+        return self._names[self.successor_index(key)]
+
+    def successors(self, key: int, count: int) -> List[str]:
+        """The *count* distinct nodes clockwise from *key* (replica group).
+
+        Returns fewer than *count* names when the ring is smaller than
+        *count*.
+        """
+        if not self._ids:
+            raise RingError("ring is empty")
+        start = self.successor_index(key)
+        size = len(self._ids)
+        return [self._names[(start + i) % size] for i in range(min(count, size))]
+
+    def predecessor_of(self, name: str) -> str:
+        """Name of the node immediately counter-clockwise of *name*."""
+        node_id = self._require(name)
+        index = bisect.bisect_left(self._ids, node_id)
+        return self._names[(index - 1) % len(self._ids)]
+
+    def successor_of(self, name: str) -> str:
+        """Name of the node immediately clockwise of *name*."""
+        node_id = self._require(name)
+        index = bisect.bisect_left(self._ids, node_id)
+        return self._names[(index + 1) % len(self._ids)]
+
+    def range_of(self, name: str) -> Tuple[int, int]:
+        """The arc ``(pred_id, own_id]`` that *name* owns as primary."""
+        node_id = self._require(name)
+        pred_id = self.position_of(self.predecessor_of(name))
+        return pred_id, node_id
+
+    def owns(self, name: str, key: int) -> bool:
+        """True when *name* is the primary owner of *key*."""
+        lo, hi = self.range_of(name)
+        if len(self._ids) == 1:
+            return True
+        return in_interval(key, lo, hi)
+
+    def replica_range_of(self, name: str, replicas: int) -> Tuple[int, int]:
+        """The arc of keys for which *name* holds any of the *replicas* copies.
+
+        A node replicates the primary ranges of itself and its ``replicas-1``
+        immediate predecessors, i.e. the arc ``(pred^replicas(name), name]``.
+        """
+        node_id = self._require(name)
+        back = name
+        steps = min(replicas, len(self._ids)) - 0
+        for _ in range(min(replicas, len(self._ids))):
+            back = self.predecessor_of(back)
+        if steps >= len(self._ids):
+            return node_id, node_id  # whole ring
+        return self.position_of(back), node_id
+
+    def _require(self, name: str) -> int:
+        try:
+            return self._position[name]
+        except KeyError:
+            raise RingError(f"unknown node {name!r}") from None
+
+
+def load_split_point(keys: Sequence[int], lo: int, hi: int) -> Optional[int]:
+    """Median split point of *keys* within the primary arc ``(lo, hi]``.
+
+    Returns the key below-or-at which half of the keys (counted clockwise
+    from *lo*) fall, i.e. the ring position a joining predecessor should
+    take to inherit the first half of the load.  Returns ``None`` when the
+    arc holds fewer than two keys (nothing to split).
+    """
+    in_range = [k for k in keys if in_interval(k, lo, hi)]
+    if len(in_range) < 2:
+        return None
+    # Order keys clockwise starting just after lo.
+    in_range.sort(key=lambda k: (k - lo - 1) % KEY_SPACE)
+    median = in_range[(len(in_range) - 1) // 2]
+    if median == hi:
+        return None  # splitting at the owner's own position is a no-op
+    return median

@@ -1,0 +1,1 @@
+"""Per-figure/table experiment drivers shared by benches and examples."""

@@ -1,0 +1,51 @@
+"""Shared load-balance simulation runs (backing Figs 16–17, Tables 3–4)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.balance import BalanceResult, run_harvard_balance, run_webcache_balance
+from repro.experiments import common
+from repro.experiments.workload_cache import harvard_trace, web_trace
+
+HARVARD_SYSTEMS = ("d2", "traditional", "traditional-file", "traditional+merc")
+WEBCACHE_SYSTEMS = ("d2", "traditional")
+
+
+def harvard_balance_matrix(
+    *,
+    systems: Sequence[str] = HARVARD_SYSTEMS,
+    n_nodes: int = common.BALANCE_NODES,
+    users: int = common.TRACE_USERS,
+    days: float = common.BALANCE_TRACE_DAYS,
+    seed: int = common.SEED,
+) -> Dict[str, BalanceResult]:
+    def compute() -> Dict[str, BalanceResult]:
+        trace = harvard_trace(users=users, days=days, seed=seed)
+        return {
+            system: run_harvard_balance(trace, system, n_nodes=n_nodes, seed=seed)
+            for system in systems
+        }
+
+    return common.cached(
+        ("harvard-balance", tuple(systems), n_nodes, users, days, seed), compute
+    )
+
+
+def webcache_balance_matrix(
+    *,
+    systems: Sequence[str] = WEBCACHE_SYSTEMS,
+    n_nodes: int = common.BALANCE_NODES,
+    days: float = common.BALANCE_TRACE_DAYS,
+    seed: int = common.SEED,
+) -> Dict[str, BalanceResult]:
+    def compute() -> Dict[str, BalanceResult]:
+        trace = web_trace(days=days, seed=seed)
+        return {
+            system: run_webcache_balance(trace, system, n_nodes=n_nodes, seed=seed)
+            for system in systems
+        }
+
+    return common.cached(
+        ("webcache-balance", tuple(systems), n_nodes, days, seed), compute
+    )

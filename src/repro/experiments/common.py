@@ -1,0 +1,78 @@
+"""Shared scaffolding for the per-figure/table experiment drivers.
+
+Every driver follows the same contract:
+
+* a ``run_*`` function takes scale knobs (defaulting to laptop-scale
+  values recorded in EXPERIMENTS.md) and returns structured rows;
+* a ``format_*`` function renders those rows as the table/series the paper
+  prints, so benches can ``print()`` a directly comparable report.
+
+Expensive underlying simulations are memoized per process (several figures
+share one run matrix, exactly as the paper derives several figures from
+one testbed execution).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Sequence, Tuple
+
+_CACHE: Dict[Tuple, Any] = {}
+
+
+def cached(key: Tuple, compute: Callable[[], Any]) -> Any:
+    """Process-wide memoization for shared simulation runs."""
+    if key not in _CACHE:
+        _CACHE[key] = compute()
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str], *, title: str = "") -> str:
+    """Minimal fixed-width table renderer for bench reports."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    widths = {
+        col: max(len(col), max(len(_fmt(row.get(col))) for row in rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.01 or abs(value) >= 100000:
+            return f"{value:.2e}"
+        return f"{value:.3g}" if abs(value) < 10 else f"{value:.1f}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Default laptop-scale parameters (the paper-scale values in comments).
+
+TRACE_USERS = 8          # paper: 83 active users
+TRACE_DAYS = 1.0         # paper: 7 days (perf) / 7 days (availability)
+BALANCE_TRACE_DAYS = 4.0  # paper: 6+ days
+AVAIL_TRACE_DAYS = 2.0
+NODE_SIZES = (60, 120, 240)   # paper: 200, 500, 1000 virtual nodes
+AVAIL_NODES = 80               # paper: 247 PlanetLab nodes
+BALANCE_NODES = 48
+BANDWIDTHS_KBPS = (1500.0, 384.0)
+INTERS = (1.0, 5.0, 15.0, 60.0)  # paper: 1 s, 5 s, 15 s, 1 min
+TRIALS = 3                      # paper: 5 trials
+PERF_WINDOWS = 3                # paper: 8 fifteen-minute windows
+SEED = 11

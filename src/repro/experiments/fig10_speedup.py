@@ -1,0 +1,52 @@
+"""Figure 10: mean speedup of D2 over the traditional DHT.
+
+Paper shape: seq speedup always > 1 and growing with system size (≥ 1.9x
+at 1000 nodes); para speedup > 1 at 1500 kbps, but *below* 1 at 384 kbps
+for the smaller sizes (the parallelism-vs-locality crossover), recovering
+above 1 at the largest size.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.performance import compare
+from repro.experiments import common
+from repro.experiments.perf_runs import performance_matrix
+
+
+def run_fig10(baseline: str = "traditional", **kwargs) -> List[dict]:
+    matrix = performance_matrix(**kwargs)
+    rows: List[dict] = []
+    sizes = sorted({k[2] for k in matrix})
+    bandwidths = sorted({k[3] for k in matrix}, reverse=True)
+    for bandwidth in bandwidths:
+        for mode in ("seq", "para"):
+            for n_nodes in sizes:
+                base = matrix.get((baseline, mode, n_nodes, bandwidth))
+                fast = matrix.get(("d2", mode, n_nodes, bandwidth))
+                if base is None or fast is None:
+                    continue
+                report = compare(base, fast)
+                rows.append(
+                    {
+                        "bandwidth_kbps": bandwidth,
+                        "mode": mode,
+                        "n_nodes": n_nodes,
+                        "speedup": report.overall,
+                        "users_above_1": report.fraction_above_one,
+                    }
+                )
+    return rows
+
+
+def format_fig10(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        ["bandwidth_kbps", "mode", "n_nodes", "speedup", "users_above_1"],
+        title="Figure 10: speedup of D2 over the traditional DHT",
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig10(run_fig10()))

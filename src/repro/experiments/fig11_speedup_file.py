@@ -1,0 +1,30 @@
+"""Figure 11: mean speedup of D2 over the traditional-file DHT.
+
+Paper shape: seq speedup similar to the traditional comparison at small
+sizes but *not* growing with system size (traditional-file's cache miss
+rate is size-stable); para speedup over traditional-file *exceeds* the
+speedup over traditional at the smallest size; D2 wins consistently.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import common
+from repro.experiments.fig10_speedup import run_fig10
+
+
+def run_fig11(**kwargs) -> List[dict]:
+    return run_fig10(baseline="traditional-file", **kwargs)
+
+
+def format_fig11(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        ["bandwidth_kbps", "mode", "n_nodes", "speedup", "users_above_1"],
+        title="Figure 11: speedup of D2 over the traditional-file DHT",
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig11(run_fig11()))

@@ -1,0 +1,46 @@
+"""Figure 12: per-user mean speedup, largest size at 1500 kbps.
+
+Paper shape: ~half the users beat the overall mean; a small minority (6 of
+83) see a mild slowdown — users whose replicas happen to sit far away —
+much smaller in magnitude than the typical speedup.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.performance import compare
+from repro.experiments import common
+from repro.experiments.perf_runs import performance_matrix
+
+
+def run_fig12(baseline: str = "traditional", **kwargs) -> List[dict]:
+    matrix = performance_matrix(**kwargs)
+    n_nodes = max(k[2] for k in matrix)
+    rows: List[dict] = []
+    for mode in ("seq", "para"):
+        base = matrix.get((baseline, mode, n_nodes, 1500.0))
+        fast = matrix.get(("d2", mode, n_nodes, 1500.0))
+        if base is None or fast is None:
+            continue
+        report = compare(base, fast)
+        for rank, (user, speedup) in enumerate(
+            sorted(report.per_user.items(), key=lambda kv: kv[1], reverse=True), start=1
+        ):
+            rows.append(
+                {"mode": mode, "rank": rank, "user": user, "speedup": speedup,
+                 "n_nodes": n_nodes}
+            )
+    return rows
+
+
+def format_fig12(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        ["mode", "rank", "user", "speedup", "n_nodes"],
+        title="Figure 12: per-user mean speedup over the traditional DHT",
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig12(run_fig12()))

@@ -1,0 +1,43 @@
+"""Figure 13: mean lookup-cache miss rate per scenario.
+
+Paper shape: D2's miss rate ~13% and independent of system size; the
+traditional DHT's miss rate ≥ 47% and *growing* with size; the
+traditional-file DHT in between and size-stable (a user's file working set
+is small).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import common
+from repro.experiments.perf_runs import performance_matrix
+
+
+def run_fig13(**kwargs) -> List[dict]:
+    matrix = performance_matrix(**kwargs)
+    rows: List[dict] = []
+    sizes = sorted({k[2] for k in matrix})
+    systems = sorted({k[0] for k in matrix})
+    for mode in ("seq", "para"):
+        for n_nodes in sizes:
+            row = {"mode": mode, "n_nodes": n_nodes}
+            for system in systems:
+                result = matrix.get((system, mode, n_nodes, 1500.0))
+                if result is not None:
+                    row[f"miss_rate_{system}"] = result.mean_miss_rate
+            rows.append(row)
+    return rows
+
+
+def format_fig13(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        ["mode", "n_nodes", "miss_rate_traditional",
+         "miss_rate_traditional-file", "miss_rate_d2"],
+        title="Figure 13: mean lookup cache miss rate",
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig13(run_fig13()))

@@ -1,0 +1,84 @@
+"""Figure 14: access-group latencies, D2 vs traditional (scatter).
+
+Paper shape: the weight of the distribution lies above the diagonal (D2
+faster); nearly every group slower in D2 is a short (<2 s) group whose
+blocks happened to hash near the client; groups >5 s in either system
+complete faster in D2, sometimes ~10x.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.performance import compare
+from repro.experiments import common
+from repro.experiments.perf_runs import performance_matrix
+
+
+def run_fig14(baseline: str = "traditional", n_nodes: Optional[int] = None,
+              **kwargs) -> List[dict]:
+    matrix = performance_matrix(**kwargs)
+    if n_nodes is None:
+        n_nodes = max(k[2] for k in matrix)
+    rows: List[dict] = []
+    for mode in ("seq", "para"):
+        base = matrix.get((baseline, mode, n_nodes, 1500.0))
+        fast = matrix.get(("d2", mode, n_nodes, 1500.0))
+        if base is None or fast is None:
+            continue
+        report = compare(base, fast)
+        above = sum(1 for b, f in report.pairs if f < b)
+        slow_pairs = [(b, f) for b, f in report.pairs if max(b, f) > 5.0]
+        slow_d2_wins = sum(1 for b, f in slow_pairs if f <= b)
+        rows.append(
+            {
+                "mode": mode,
+                "n_nodes": n_nodes,
+                "groups": len(report.pairs),
+                "faster_in_d2": above,
+                "fraction_above_diagonal": above / len(report.pairs) if report.pairs else 0.0,
+                "slow_groups": len(slow_pairs),
+                "slow_groups_d2_wins": slow_d2_wins,
+            }
+        )
+    return rows
+
+
+def scatter_points(baseline: str = "traditional", mode: str = "seq",
+                   n_nodes: Optional[int] = None, **kwargs) -> List[dict]:
+    """Raw (baseline, d2) latency pairs for plotting the scatter itself."""
+    matrix = performance_matrix(**kwargs)
+    if n_nodes is None:
+        n_nodes = max(k[2] for k in matrix)
+    base = matrix[(baseline, mode, n_nodes, 1500.0)]
+    fast = matrix[("d2", mode, n_nodes, 1500.0)]
+    report = compare(base, fast)
+    return [
+        {"baseline_s": b, "d2_s": f} for b, f in sorted(report.pairs, reverse=True)
+    ]
+
+
+def format_fig14(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        ["mode", "n_nodes", "groups", "faster_in_d2", "fraction_above_diagonal",
+         "slow_groups", "slow_groups_d2_wins"],
+        title="Figure 14: access-group latency scatter summary, D2 vs traditional",
+    )
+
+
+def plot_fig14(mode: str = "seq", **kwargs) -> str:
+    """ASCII scatter with the diagonal, as the paper draws it."""
+    from repro.analysis.plotting import ascii_scatter
+
+    points = scatter_points(mode=mode, **kwargs)
+    return ascii_scatter(
+        [(p["baseline_s"], p["d2_s"]) for p in points],
+        title=f"Figure 14 ({mode}): access-group latency, traditional vs D2",
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig14(run_fig14()))
+    print()
+    print(plot_fig14())

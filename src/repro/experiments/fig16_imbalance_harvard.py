@@ -1,0 +1,74 @@
+"""Figure 16: storage load imbalance over time (Harvard workload).
+
+Paper shape: normalized stddev ordering traditional-file >> traditional >
+D2 ≈ Traditional+Merc, with short D2 spikes after very large file inserts
+that balancing quickly flattens; D2's max node load ~1.6x mean (traditional
+~2.4x) and never above the t = 4 bound.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import common
+from repro.experiments.balance_runs import harvard_balance_matrix
+
+
+def run_fig16(**kwargs) -> List[dict]:
+    matrix = harvard_balance_matrix(**kwargs)
+    rows: List[dict] = []
+    for system, result in matrix.items():
+        for sample in result.samples:
+            rows.append(
+                {
+                    "system": system,
+                    "day": sample.time / 86400.0,
+                    "nsd": sample.nsd,
+                    "max_over_mean": sample.max_over_mean,
+                }
+            )
+    return rows
+
+
+def summarize_fig16(**kwargs) -> List[dict]:
+    matrix = harvard_balance_matrix(**kwargs)
+    return [
+        {
+            "system": system,
+            "mean_nsd": result.mean_nsd(),
+            "mean_max_over_mean": result.mean_max_over_mean(),
+            "moves": result.moves,
+        }
+        for system, result in matrix.items()
+    ]
+
+
+def format_fig16(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        ["system", "mean_nsd", "mean_max_over_mean", "moves"],
+        title="Figure 16: load imbalance over time with Harvard (summary)",
+    )
+
+
+def plot_fig16(**kwargs) -> str:
+    """ASCII rendering of the imbalance-over-time curves."""
+    from repro.analysis.plotting import ascii_timeseries, timeseries_from_samples
+
+    matrix = harvard_balance_matrix(**kwargs)
+    series = {
+        system: timeseries_from_samples(result.samples, lambda s: s.nsd)
+        for system, result in matrix.items()
+    }
+    return ascii_timeseries(
+        series,
+        x_label="days",
+        y_label="nsd",
+        title="Figure 16: load imbalance over time (Harvard)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig16(summarize_fig16()))
+    print()
+    print(plot_fig16())

@@ -1,0 +1,73 @@
+"""Figure 17: storage load imbalance over time (Webcache workload).
+
+Paper shape: more volatile than Harvard (the DHT starts empty and churn is
+extreme), with warm-up spikes; after warm-up D2's imbalance stays below the
+traditional DHT's in both stddev and max load.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import common
+from repro.experiments.balance_runs import webcache_balance_matrix
+
+
+def run_fig17(**kwargs) -> List[dict]:
+    matrix = webcache_balance_matrix(**kwargs)
+    rows: List[dict] = []
+    for system, result in matrix.items():
+        for sample in result.samples:
+            rows.append(
+                {
+                    "system": system,
+                    "day": sample.time / 86400.0,
+                    "nsd": sample.nsd,
+                    "max_over_mean": sample.max_over_mean,
+                }
+            )
+    return rows
+
+
+def summarize_fig17(**kwargs) -> List[dict]:
+    matrix = webcache_balance_matrix(**kwargs)
+    return [
+        {
+            "system": system,
+            "mean_nsd": result.mean_nsd(),
+            "mean_max_over_mean": result.mean_max_over_mean(),
+            "moves": result.moves,
+        }
+        for system, result in matrix.items()
+    ]
+
+
+def format_fig17(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        ["system", "mean_nsd", "mean_max_over_mean", "moves"],
+        title="Figure 17: load imbalance over time with Webcache (summary)",
+    )
+
+
+def plot_fig17(**kwargs) -> str:
+    """ASCII rendering of the imbalance-over-time curves."""
+    from repro.analysis.plotting import ascii_timeseries, timeseries_from_samples
+
+    matrix = webcache_balance_matrix(**kwargs)
+    series = {
+        system: timeseries_from_samples(result.samples, lambda s: s.nsd)
+        for system, result in matrix.items()
+    }
+    return ascii_timeseries(
+        series,
+        x_label="days",
+        y_label="nsd",
+        title="Figure 17: load imbalance over time (Webcache)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig17(summarize_fig17()))
+    print()
+    print(plot_fig17())

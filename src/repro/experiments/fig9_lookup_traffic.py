@@ -1,0 +1,43 @@
+"""Figure 9: DHT lookup messages per node vs system size.
+
+Paper shape: lookup traffic per node *increases* with system size for the
+traditional DHT (its cache miss rate grows with n), *decreases* for D2 and
+traditional-file (miss rates ~independent of n, denominator grows); at the
+largest size D2 sends <1/20 of traditional's messages.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import common
+from repro.experiments.perf_runs import performance_matrix
+
+
+def run_fig9(**kwargs) -> List[dict]:
+    matrix = performance_matrix(**kwargs)
+    rows: List[dict] = []
+    sizes = sorted({k[2] for k in matrix})
+    systems = sorted({k[0] for k in matrix})
+    for mode in ("seq", "para"):
+        for n_nodes in sizes:
+            row = {"mode": mode, "n_nodes": n_nodes}
+            for system in systems:
+                result = matrix.get((system, mode, n_nodes, 1500.0))
+                if result is not None:
+                    row[f"msgs_per_node_{system}"] = result.messages_per_node
+            rows.append(row)
+    return rows
+
+
+def format_fig9(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        ["mode", "n_nodes", "msgs_per_node_traditional",
+         "msgs_per_node_traditional-file", "msgs_per_node_d2"],
+        title="Figure 9: lookup messages per node vs system size",
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig9(run_fig9()))

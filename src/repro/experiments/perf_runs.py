@@ -1,0 +1,74 @@
+"""Shared performance run matrix (backing Figures 9–15)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.performance import PerformanceResult, run_performance
+from repro.experiments import common
+from repro.experiments.workload_cache import harvard_trace
+from repro.workloads.scale import copies_for_size, replicate_filesystem
+
+PerfKey = Tuple[str, str, int, float]  # (system, mode, n_nodes, bandwidth_kbps)
+
+
+def performance_matrix(
+    *,
+    systems: Sequence[str] = ("d2", "traditional", "traditional-file"),
+    modes: Sequence[str] = ("seq", "para"),
+    node_sizes: Sequence[int] = common.NODE_SIZES,
+    bandwidths_kbps: Sequence[float] = common.BANDWIDTHS_KBPS,
+    users: int = common.TRACE_USERS,
+    days: float = common.TRACE_DAYS,
+    n_windows: int = common.PERF_WINDOWS,
+    scale_with_size: bool = True,
+    seed: int = common.SEED,
+) -> Dict[PerfKey, PerformanceResult]:
+    """All performance runs for the evaluation grid, memoized.
+
+    One run per (system, mode, size, bandwidth); several figures read
+    different projections of the same grid, as in the paper.  With
+    ``scale_with_size`` the stored file system is replicated so per-node
+    data stays constant across sizes (Section 9.1's methodology).
+    """
+
+    def compute() -> Dict[PerfKey, PerformanceResult]:
+        base_trace = harvard_trace(users=users, days=days, seed=seed)
+        base_size = min(node_sizes)
+        results: Dict[PerfKey, PerformanceResult] = {}
+        for n_nodes in node_sizes:
+            if scale_with_size:
+                trace = replicate_filesystem(
+                    base_trace, copies_for_size(base_size, n_nodes)
+                )
+            else:
+                trace = base_trace
+            for bandwidth in bandwidths_kbps:
+                for system in systems:
+                    for mode in modes:
+                        results[(system, mode, n_nodes, bandwidth)] = run_performance(
+                            trace,
+                            system,
+                            mode=mode,
+                            n_nodes=n_nodes,
+                            bandwidth_kbps=bandwidth,
+                            n_windows=n_windows,
+                            seed=seed,
+                        )
+        return results
+
+    return common.cached(
+        (
+            "performance",
+            tuple(systems),
+            tuple(modes),
+            tuple(node_sizes),
+            tuple(bandwidths_kbps),
+            users,
+            days,
+            n_windows,
+            scale_with_size,
+            seed,
+        ),
+        compute,
+    )

@@ -1,0 +1,62 @@
+"""Table 2: mean objects and mean nodes accessed per task.
+
+Paper shape (r = 3, 247 nodes)::
+
+    inter   blocks  files   nodes: block  file  D2
+    1 s     63      10      10            6     2
+    5 s     91      15      11            8     2
+    15 s    128     22      14            10    3
+    1 min   237     38      23            16    4
+
+What must hold: blocks >> files per task; nodes(traditional) ≈ saturating
+in the tens, nodes(traditional-file) somewhat below it, nodes(D2) a small
+constant (2–4), all growing slowly with *inter*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments import common
+from repro.experiments.availability_runs import availability_matrix
+
+
+def run_table2(**kwargs) -> List[dict]:
+    matrix = availability_matrix(**kwargs)
+    inters = sorted({inter for (_s, inter, _t) in matrix})
+    systems = sorted({system for (system, _i, _t) in matrix})
+    rows: List[dict] = []
+    for inter in inters:
+        row: Dict[str, object] = {"inter_s": inter}
+        for system in systems:
+            results = [r for (s, i, _t), r in matrix.items() if s == system and i == inter]
+            row[f"nodes_{system}"] = _mean([r.mean_nodes_per_task for r in results])
+            if system == "traditional":
+                row["blocks_per_task"] = _mean([r.mean_blocks_per_task for r in results])
+                row["files_per_task"] = _mean([r.mean_files_per_task for r in results])
+        rows.append(row)
+    return rows
+
+
+def _mean(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def format_table2(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        [
+            "inter_s",
+            "blocks_per_task",
+            "files_per_task",
+            "nodes_traditional",
+            "nodes_traditional-file",
+            "nodes_d2",
+        ],
+        title="Table 2: mean objects and nodes accessed per task",
+    )
+
+
+if __name__ == "__main__":
+    print(format_table2(run_table2()))

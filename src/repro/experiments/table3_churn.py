@@ -1,0 +1,44 @@
+"""Table 3: daily write and removal ratios (W_i/T_i, R_i/T_i).
+
+Paper shape: Harvard writes and removes ~10–20% of stored bytes per day;
+Webcache can write 100%–1300% of stored bytes in a day and removes
+everything present at a day's start by its end (ratios ≥ ~0.8, sometimes
+far above 1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import common
+from repro.experiments.balance_runs import harvard_balance_matrix, webcache_balance_matrix
+
+
+def run_table3(**kwargs) -> List[dict]:
+    harvard = harvard_balance_matrix(systems=("d2",), **kwargs)["d2"]
+    web_kwargs = {k: v for k, v in kwargs.items() if k != "users"}
+    webcache = webcache_balance_matrix(systems=("d2",), **web_kwargs)["d2"]
+    rows: List[dict] = []
+    for result, name in ((harvard, "Harvard"), (webcache, "Webcache")):
+        for churn in result.churn_rows():
+            rows.append(
+                {
+                    "workload": name,
+                    "day": churn["day"],
+                    "W_over_T": churn["write_ratio"],
+                    "R_over_T": churn["remove_ratio"],
+                }
+            )
+    return rows
+
+
+def format_table3(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        ["workload", "day", "W_over_T", "R_over_T"],
+        title="Table 3: daily write/remove volume over bytes present at day start",
+    )
+
+
+if __name__ == "__main__":
+    print(format_table3(run_table3()))

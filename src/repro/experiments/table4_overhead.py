@@ -1,0 +1,62 @@
+"""Table 4: write traffic vs load-balancing (migration) traffic per day.
+
+Paper shape: with Harvard, total migration ≈ 50% of total write volume
+("for every 2 bytes written, 1 byte is migrated later"); with Webcache,
+migration is comparable to — slightly above — the write volume (~1.16x).
+Pointers are what keep both ratios near 1 instead of multiples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import common
+from repro.experiments.balance_runs import harvard_balance_matrix, webcache_balance_matrix
+
+
+def run_table4(**kwargs) -> List[dict]:
+    harvard = harvard_balance_matrix(systems=("d2",), **kwargs)["d2"]
+    web_kwargs = {k: v for k, v in kwargs.items() if k != "users"}
+    webcache = webcache_balance_matrix(systems=("d2",), **web_kwargs)["d2"]
+    rows: List[dict] = []
+    for result, name in ((harvard, "Harvard"), (webcache, "Webcache")):
+        for overhead in result.overhead_rows():
+            rows.append(
+                {
+                    "workload": name,
+                    "day": overhead["day"],
+                    "W_mb_per_node": overhead["write_mb_per_node"],
+                    "L_mb_per_node": overhead["migration_mb_per_node"],
+                }
+            )
+        rows.append(
+            {
+                "workload": name,
+                "day": "total L/W",
+                "W_mb_per_node": sum(result.daily_written) / 1e6 / result.n_nodes,
+                "L_mb_per_node": sum(result.daily_migrated) / 1e6 / result.n_nodes,
+            }
+        )
+    return rows
+
+
+def migration_over_write(**kwargs) -> dict:
+    harvard = harvard_balance_matrix(systems=("d2",), **kwargs)["d2"]
+    web_kwargs = {k: v for k, v in kwargs.items() if k != "users"}
+    webcache = webcache_balance_matrix(systems=("d2",), **web_kwargs)["d2"]
+    return {
+        "harvard": harvard.migration_over_write(),
+        "webcache": webcache.migration_over_write(),
+    }
+
+
+def format_table4(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        ["workload", "day", "W_mb_per_node", "L_mb_per_node"],
+        title="Table 4: daily write vs migration traffic per node (MB)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_table4(run_table4()))

@@ -1,0 +1,32 @@
+"""Memoized workload construction shared by all experiment drivers."""
+
+from __future__ import annotations
+
+from repro.experiments import common
+from repro.workloads.harvard import HarvardConfig, generate_harvard
+from repro.workloads.hp import HPConfig, generate_hp
+from repro.workloads.trace import Trace
+from repro.workloads.web import WebConfig, generate_web
+
+
+def harvard_trace(users: int = common.TRACE_USERS, days: float = common.TRACE_DAYS,
+                  seed: int = common.SEED) -> Trace:
+    return common.cached(
+        ("harvard", users, days, seed),
+        lambda: generate_harvard(HarvardConfig(users=users, days=days, seed=seed)),
+    )
+
+
+def hp_trace(apps: int = 10, days: float = common.TRACE_DAYS, seed: int = common.SEED) -> Trace:
+    return common.cached(
+        ("hp", apps, days, seed),
+        lambda: generate_hp(HPConfig(applications=apps, days=days, seed=seed)),
+    )
+
+
+def web_trace(users: int = 24, days: float = common.TRACE_DAYS, sites: int = 40,
+              seed: int = common.SEED) -> Trace:
+    return common.cached(
+        ("web", users, days, sites, seed),
+        lambda: generate_web(WebConfig(users=users, days=days, sites=sites, seed=seed)),
+    )

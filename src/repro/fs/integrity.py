@@ -1,0 +1,185 @@
+"""Integrity chain: signing the root transitively signs all metadata.
+
+Section 3: D2-FS keys are not content hashes (they encode name-space
+position), so integrity comes from a hash chain instead — every metadata
+block stores the content hash of each block it points to, and the
+publisher signs the root block.  A reader can then verify any block by
+walking hashes downward from the signed root.
+
+This module builds that chain over a :class:`DhtFileSystem`'s current
+state and verifies fetched snapshots, detecting any tampering (a modified
+block, a swapped child, a replayed old version) without trusting the
+storage nodes.  Hashes are over logical content descriptors, which is
+exactly as strong at simulation granularity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.fs.blocks import data_block_count
+from repro.fs.fslayer import DhtFileSystem
+from repro.fs.namespace import Directory, FileNode
+
+
+class IntegrityError(Exception):
+    """Raised when verification fails (tampering or corruption)."""
+
+
+def _h(*parts: object) -> str:
+    digest = hashlib.sha256("|".join(str(p) for p in parts).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass
+class FileManifest:
+    """The verifiable description of one file."""
+
+    name: str
+    size: int
+    version: int
+    block_hashes: Tuple[str, ...]
+
+    def content_hash(self) -> str:
+        return _h("file", self.name, self.size, self.version, *self.block_hashes)
+
+
+@dataclass
+class DirectoryManifest:
+    """The verifiable description of one directory."""
+
+    name: str
+    version: int
+    entries: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    # name -> (kind, child content hash); kind in {"file", "dir"}
+
+    def content_hash(self) -> str:
+        items = [
+            _h("entry", name, kind, child_hash)
+            for name, (kind, child_hash) in sorted(self.entries.items())
+        ]
+        return _h("dir", self.name, self.version, *items)
+
+
+@dataclass
+class VolumeSnapshot:
+    """A complete signed snapshot of a volume's metadata tree."""
+
+    publisher: str
+    root_version: int
+    root_hash: str
+    signature: str
+    directories: Dict[str, DirectoryManifest] = field(default_factory=dict)
+    files: Dict[str, FileManifest] = field(default_factory=dict)
+
+
+def _file_manifest(path: str, node: FileNode) -> FileManifest:
+    hashes = []
+    for number in range(1, data_block_count(node.size) + 1):
+        version = node.block_versions.get(number, node.version)
+        hashes.append(_h("block", path, number, version))
+    return FileManifest(
+        name=path.rsplit("/", 1)[-1],
+        size=node.size,
+        version=node.version,
+        block_hashes=tuple(hashes),
+    )
+
+
+def snapshot_volume(fs: DhtFileSystem, publisher: str) -> VolumeSnapshot:
+    """Build the hash chain bottom-up and sign the root.
+
+    Mirrors what D2-FS does on every flush: each directory block carries
+    its children's hashes, so one signature over the root hash covers the
+    whole tree.
+    """
+    directories: Dict[str, DirectoryManifest] = {}
+    files: Dict[str, FileManifest] = {}
+
+    def walk(path: str, directory: Directory) -> str:
+        manifest = DirectoryManifest(name=directory.name, version=directory.version)
+        base = path.rstrip("/")
+        for name, child in sorted(directory.children.items()):
+            child_path = f"{base}/{name}"
+            if isinstance(child, Directory):
+                manifest.entries[name] = ("dir", walk(child_path, child))
+            else:
+                file_manifest = _file_manifest(child_path, child)
+                files[child_path] = file_manifest
+                manifest.entries[name] = ("file", file_manifest.content_hash())
+        directories[path or "/"] = manifest
+        return manifest.content_hash()
+
+    root_hash = walk("/", fs.namespace.root)
+    signature = _h("sign", publisher, fs.root_version, root_hash)
+    return VolumeSnapshot(
+        publisher=publisher,
+        root_version=fs.root_version,
+        root_hash=root_hash,
+        signature=signature,
+        directories=directories,
+        files=files,
+    )
+
+
+def verify_snapshot(snapshot: VolumeSnapshot, publisher: str) -> bool:
+    """Verify the full chain: signature, root hash, and every directory.
+
+    Raises :class:`IntegrityError` naming the first inconsistency; returns
+    True when everything checks out.
+    """
+    expected_signature = _h("sign", publisher, snapshot.root_version, snapshot.root_hash)
+    if snapshot.signature != expected_signature:
+        raise IntegrityError("root signature does not verify")
+
+    recomputed: Dict[str, str] = {}
+
+    def recompute(path: str) -> str:
+        manifest = snapshot.directories.get(path)
+        if manifest is None:
+            raise IntegrityError(f"missing directory manifest for {path!r}")
+        fresh = DirectoryManifest(name=manifest.name, version=manifest.version)
+        base = path.rstrip("/")
+        for name, (kind, claimed) in sorted(manifest.entries.items()):
+            child_path = f"{base}/{name}"
+            if kind == "dir":
+                actual = recompute(child_path)
+            elif kind == "file":
+                file_manifest = snapshot.files.get(child_path)
+                if file_manifest is None:
+                    raise IntegrityError(f"missing file manifest for {child_path!r}")
+                actual = file_manifest.content_hash()
+            else:
+                raise IntegrityError(f"unknown entry kind {kind!r}")
+            if actual != claimed:
+                raise IntegrityError(
+                    f"hash mismatch at {child_path!r}: chain is broken"
+                )
+            fresh.entries[name] = (kind, actual)
+        recomputed[path] = fresh.content_hash()
+        return recomputed[path]
+
+    root = recompute("/")
+    if root != snapshot.root_hash:
+        raise IntegrityError("root hash does not match directory tree")
+    return True
+
+
+def verify_block(
+    snapshot: VolumeSnapshot, path: str, block_number: int, observed_version: int
+) -> bool:
+    """Verify a fetched data block against the signed snapshot.
+
+    A storage node serving a stale or substituted version fails this check
+    — the defense the paper gets from storing hashes alongside pointers.
+    """
+    manifest = snapshot.files.get(path)
+    if manifest is None:
+        raise IntegrityError(f"no manifest for {path!r}")
+    if not 1 <= block_number <= len(manifest.block_hashes):
+        raise IntegrityError(f"{path!r} has no block {block_number}")
+    expected = manifest.block_hashes[block_number - 1]
+    observed = _h("block", path, block_number, observed_version)
+    return observed == expected

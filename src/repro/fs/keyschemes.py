@@ -1,0 +1,150 @@
+"""Key-assignment schemes: D2 locality keys vs consistent-hashing baselines.
+
+The three systems the paper compares differ *only* in how blocks map to DHT
+keys; the file-system organization above them is identical (Section 7: "the
+traditional DHT we compare D2 against uses the same code base ... but uses
+hashed keys").  Each scheme maps a block's *logical identity* — its storage
+location in the namespace (which rename never changes, mimicking content
+hashes) plus block number and version — to a 64-byte ring key:
+
+* :class:`D2KeyScheme` — the Figure-4 locality-preserving encoding: blocks
+  of one file, and files of one directory, get contiguous keys.
+* :class:`TraditionalKeyScheme` — every block hashes to an independent
+  uniform key (CFS-style; one key per 8 KB block).
+* :class:`TraditionalFileKeyScheme` — all blocks of a file share one hashed
+  key (PAST-style; a whole file lands on one replica group, but distinct
+  files scatter).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+from repro.core.keys import encode_path_key, version_hash, volume_id
+from repro.dht.consistent_hashing import hashed_key
+from repro.fs.namespace import Directory, FileNode
+
+
+def storage_identity(slot_path: Tuple[int, ...], overflow: Tuple[str, ...]) -> str:
+    """Stable logical identity of a namespace object.
+
+    Derived from the object's *original* storage location, which rename
+    preserves — so, like a content hash, it never changes when the file
+    moves.
+    """
+    slots = ".".join(str(s) for s in slot_path)
+    extra = "/".join(overflow)
+    return f"{slots}|{extra}"
+
+
+class KeyScheme(ABC):
+    """Maps FS blocks to ring keys.  One instance per volume per system."""
+
+    name: str
+
+    @abstractmethod
+    def file_block_key(self, node: FileNode, block_number: int, version: int) -> int:
+        """Key of one block of a file (block 0 is the inode)."""
+
+    @abstractmethod
+    def directory_block_key(self, directory: Directory, block_number: int, version: int) -> int:
+        """Key of one metadata block of a directory."""
+
+    @abstractmethod
+    def root_key(self) -> int:
+        """Key of the volume's root block (stable; updated in place)."""
+
+
+class D2KeyScheme(KeyScheme):
+    """Locality-preserving keys (the paper's contribution, Section 4.2)."""
+
+    name = "d2"
+
+    def __init__(self, volume_name: str) -> None:
+        self.volume_name = volume_name
+        self.volume = volume_id(volume_name)
+
+    def file_block_key(self, node: FileNode, block_number: int, version: int) -> int:
+        return encode_path_key(
+            self.volume,
+            node.slot_path,
+            overflow_components=node.overflow,
+            block_number=block_number,
+            version=version_hash(version),
+        )
+
+    def directory_block_key(self, directory: Directory, block_number: int, version: int) -> int:
+        return encode_path_key(
+            self.volume,
+            directory.slot_path,
+            overflow_components=directory.overflow,
+            block_number=block_number,
+            version=version_hash(version),
+        )
+
+    def root_key(self) -> int:
+        # Block 0 / version 0 at the empty slot path: the volume's lowest
+        # key, immediately before all of its contents on the ring.
+        return encode_path_key(self.volume, (), block_number=0, version=0)
+
+
+class TraditionalKeyScheme(KeyScheme):
+    """One uniform hashed key per block (the paper's *traditional* DHT)."""
+
+    name = "traditional"
+
+    def __init__(self, volume_name: str) -> None:
+        self.volume_name = volume_name
+
+    def file_block_key(self, node: FileNode, block_number: int, version: int) -> int:
+        ident = storage_identity(node.slot_path, node.overflow)
+        return hashed_key(f"{self.volume_name}|{ident}|b{block_number}|v{version}")
+
+    def directory_block_key(self, directory: Directory, block_number: int, version: int) -> int:
+        ident = storage_identity(directory.slot_path, directory.overflow)
+        return hashed_key(f"{self.volume_name}|{ident}|d{block_number}|v{version}")
+
+    def root_key(self) -> int:
+        return hashed_key(f"{self.volume_name}|<root>")
+
+
+class TraditionalFileKeyScheme(KeyScheme):
+    """One hashed key per *file* (the paper's *traditional-file* DHT).
+
+    Every block of a file shares the file's key, so the whole file lives on
+    one replica group and a single lookup locates it; partial reads and
+    writes still transfer only the touched blocks (Section 9.1).
+    Directory metadata likewise keys by directory.
+    """
+
+    name = "traditional-file"
+
+    def __init__(self, volume_name: str) -> None:
+        self.volume_name = volume_name
+
+    def file_block_key(self, node: FileNode, block_number: int, version: int) -> int:
+        ident = storage_identity(node.slot_path, node.overflow)
+        return hashed_key(f"{self.volume_name}|{ident}|file")
+
+    def directory_block_key(self, directory: Directory, block_number: int, version: int) -> int:
+        ident = storage_identity(directory.slot_path, directory.overflow)
+        return hashed_key(f"{self.volume_name}|{ident}|dir")
+
+    def root_key(self) -> int:
+        return hashed_key(f"{self.volume_name}|<root>")
+
+
+def make_scheme(system: str, volume_name: str) -> KeyScheme:
+    """Factory keyed by the system names used throughout the evaluation."""
+    schemes = {
+        "d2": D2KeyScheme,
+        "traditional": TraditionalKeyScheme,
+        "traditional-file": TraditionalFileKeyScheme,
+    }
+    try:
+        return schemes[system](volume_name)
+    except KeyError:
+        raise ValueError(
+            f"unknown system {system!r}; expected one of {sorted(schemes)}"
+        ) from None

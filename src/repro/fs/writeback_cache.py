@@ -1,0 +1,168 @@
+"""30-second write-back / buffer cache (Section 3).
+
+D2-FS batches writes for 30 seconds before inserting them into the DHT, so
+temporary files and rapid rewrites never reach the network, and repeated
+reads of one block within a 30-second window fetch it once.  Data seen by
+other users may be stale by up to the flush delay, but never partially
+written: a flush emits a file's final state, not the intermediate ones.
+
+The cache operates on :class:`repro.fs.fslayer.BlockOp` streams:
+
+* ``put`` ops are buffered keyed by logical identity; a later put of the
+  same identity *supersedes* the buffered one (only the last version is
+  ever flushed — the paper's temporary-file optimization);
+* ``remove`` ops cancel a buffered put of the same identity (the block
+  never existed outside the cache); removes of already-flushed versions
+  pass through on flush;
+* ``get`` ops are absorbed when the identity is dirty in the cache or was
+  read within the TTL (buffer-cache hit), and recorded otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.fs.fslayer import BlockOp
+
+DEFAULT_FLUSH_DELAY = 30.0
+
+
+@dataclass
+class CacheStats:
+    puts_in: int = 0
+    puts_out: int = 0
+    puts_superseded: int = 0
+    removes_in: int = 0
+    removes_cancelled: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+
+    @property
+    def write_absorption(self) -> float:
+        """Fraction of put operations the cache absorbed."""
+        if self.puts_in == 0:
+            return 0.0
+        return 1.0 - self.puts_out / self.puts_in
+
+
+@dataclass
+class _PendingWrite:
+    op: BlockOp
+    first_dirtied: float
+    removes: List[BlockOp] = field(default_factory=list)
+    # Keys of versions superseded while still in the cache: they never hit
+    # the DHT, so removes targeting them are dropped.
+    absorbed_keys: set = field(default_factory=set)
+
+
+class WritebackCache:
+    """Per-client write-back buffer plus read (buffer) cache."""
+
+    def __init__(self, flush_delay: float = DEFAULT_FLUSH_DELAY) -> None:
+        self.flush_delay = flush_delay
+        self._dirty: Dict[str, _PendingWrite] = {}
+        self._read_at: Dict[str, Tuple[float, int]] = {}  # ident -> (time, key)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # write path
+
+    def write(self, ops: List[BlockOp], now: float) -> None:
+        """Buffer the write-side ops of one FS operation."""
+        for op in ops:
+            if op.action == "put":
+                self.stats.puts_in += 1
+                pending = self._dirty.get(op.ident)
+                if pending is None:
+                    self._dirty[op.ident] = _PendingWrite(op, now)
+                else:
+                    # The superseded version never reaches the DHT, so any
+                    # remove targeting it (already queued or yet to come)
+                    # is moot.
+                    self.stats.puts_superseded += 1
+                    pending.absorbed_keys.add(pending.op.key)
+                    pending.removes = [
+                        r for r in pending.removes if r.key != pending.op.key
+                    ]
+                    pending.op = op
+            elif op.action == "remove":
+                self.stats.removes_in += 1
+                pending = self._dirty.get(op.ident)
+                if pending is not None and pending.op.key == op.key:
+                    # Removing a version that only exists in the cache.
+                    del self._dirty[op.ident]
+                    self.stats.removes_cancelled += 1
+                elif pending is not None and op.key in pending.absorbed_keys:
+                    # The target version was superseded in-cache.
+                    self.stats.removes_cancelled += 1
+                elif pending is not None:
+                    pending.removes.append(op)
+                else:
+                    # Remove of an already-flushed version: carry it as a
+                    # standalone pending entry with no put.
+                    entry = self._dirty.setdefault(
+                        f"-{op.ident}#{op.key}", _PendingWrite(op, now)
+                    )
+                    if entry.op is not op:
+                        entry.removes.append(op)
+
+    def flush_due(self, now: float) -> List[BlockOp]:
+        """Ops whose flush delay has elapsed, ready to hit the DHT."""
+        flushed: List[BlockOp] = []
+        due = [
+            ident
+            for ident, pending in self._dirty.items()
+            if now - pending.first_dirtied >= self.flush_delay
+        ]
+        for ident in due:
+            pending = self._dirty.pop(ident)
+            flushed.extend(self._emit(pending))
+        return flushed
+
+    def flush_all(self) -> List[BlockOp]:
+        """Flush everything immediately (client shutdown / sync)."""
+        flushed: List[BlockOp] = []
+        for pending in self._dirty.values():
+            flushed.extend(self._emit(pending))
+        self._dirty.clear()
+        return flushed
+
+    def _emit(self, pending: _PendingWrite) -> List[BlockOp]:
+        ops: List[BlockOp] = []
+        if pending.op.action == "put":
+            self.stats.puts_out += 1
+            ops.append(pending.op)
+        else:
+            ops.append(pending.op)
+        ops.extend(pending.removes)
+        return ops
+
+    # ------------------------------------------------------------------
+    # read path
+
+    def read(self, op: BlockOp, now: float) -> bool:
+        """True when the buffer cache absorbs this get (no DHT access)."""
+        if op.action != "get":
+            raise ValueError("read() takes get ops only")
+        pending = self._dirty.get(op.ident)
+        if pending is not None and pending.op.action == "put":
+            self.stats.read_hits += 1
+            return True
+        cached = self._read_at.get(op.ident)
+        if cached is not None:
+            cached_at, cached_key = cached
+            if now - cached_at < self.flush_delay and cached_key == op.key:
+                self.stats.read_hits += 1
+                return True
+        self._read_at[op.ident] = (now, op.key)
+        self.stats.read_misses += 1
+        return False
+
+    def filter_reads(self, ops: List[BlockOp], now: float) -> List[BlockOp]:
+        """The subset of get ops that must actually go to the DHT."""
+        return [op for op in ops if op.action == "get" and not self.read(op, now)]
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)

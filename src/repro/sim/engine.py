@@ -1,0 +1,224 @@
+"""Discrete-event simulation kernel.
+
+Every long-running experiment in this reproduction (availability, load
+balancing, end-to-end latency) is driven by :class:`Simulator`, a minimal
+heap-based discrete-event engine.  Time is a float number of seconds since
+the start of the simulation.
+
+The kernel deliberately stays tiny: events are plain callbacks, there are no
+processes or coroutines.  Components that need richer behaviour (periodic
+probes, delayed block removal, pointer stabilization) build it out of
+:meth:`Simulator.schedule` and :meth:`Simulator.schedule_periodic`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Raised when the simulator is used incorrectly."""
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Holding a handle allows the caller to cancel a pending event.  Handles
+    compare by identity of their sequence number, which is unique per
+    simulator instance.
+    """
+
+    time: float
+    seq: int
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """A heap-based discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0, 5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._cancelled: set = set()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule *callback* to fire ``delay`` seconds from now.
+
+        Returns an :class:`EventHandle` that can be passed to :meth:`cancel`.
+        ``delay`` must be non-negative; zero-delay events fire in FIFO order
+        after the current callback returns.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        seq = next(self._seq)
+        when = self._now + delay
+        heapq.heappush(self._queue, (when, seq, callback))
+        return EventHandle(when, seq)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule *callback* at absolute simulation time *when*."""
+        return self.schedule(when - self._now, callback)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        jitter: Callable[[], float] = lambda: 0.0,
+        first_delay: Optional[float] = None,
+    ) -> "PeriodicTask":
+        """Fire *callback* every *interval* seconds until cancelled.
+
+        ``jitter()`` is added to each period (e.g. to desynchronize load
+        balancing probes across nodes).  The task object's :meth:`cancel`
+        stops future firings.
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        task = PeriodicTask(self, interval, callback, jitter)
+        delay = first_delay if first_delay is not None else interval + jitter()
+        task._arm(max(0.0, delay))
+        return task
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event.  Cancelling a fired event is a no-op."""
+        self._cancelled.add((handle.time, handle.seq))
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the queue drains or time *until* is reached.
+
+        When *until* is given, the clock is advanced to exactly *until* even
+        if the last event fires earlier, so that back-to-back calls with
+        increasing horizons behave like a continuous run.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                when, seq, callback = self._queue[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._queue)
+                if (when, seq) in self._cancelled:
+                    self._cancelled.discard((when, seq))
+                    continue
+                if when < self._now:
+                    raise SimulationError("event queue corrupted: time went backwards")
+                self._now = when
+                callback()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns False when the queue is empty."""
+        while self._queue:
+            when, seq, callback = heapq.heappop(self._queue)
+            if (when, seq) in self._cancelled:
+                self._cancelled.discard((when, seq))
+                continue
+            self._now = when
+            callback()
+            return True
+        return False
+
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return len(self._queue)
+
+
+class PeriodicTask:
+    """A repeating event created by :meth:`Simulator.schedule_periodic`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: Callable[[], float],
+    ) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._handle: Optional[EventHandle] = None
+        self._cancelled = False
+
+    def _arm(self, delay: float) -> None:
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._callback()
+        if not self._cancelled:
+            self._arm(max(0.0, self._interval + self._jitter()))
+
+    def cancel(self) -> None:
+        """Stop the periodic task; pending firing is suppressed."""
+        self._cancelled = True
+        if self._handle is not None:
+            self._sim.cancel(self._handle)
+            self._handle = None
+
+
+@dataclass
+class TokenBucket:
+    """A fluid-model bandwidth limiter.
+
+    Used to cap per-node load-balancing (migration) traffic at 750 kbps and
+    access links at 1500/384 kbps, as in the paper's simulator.  Rather than
+    tracking individual packets, callers ask "when would *nbytes* finish if
+    started now?" and the bucket serializes requests FIFO.
+    """
+
+    rate_bytes_per_sec: float
+    available_at: float = 0.0
+    bytes_sent: int = 0
+
+    def reserve(self, now: float, nbytes: int) -> float:
+        """Reserve capacity for *nbytes* starting at *now*.
+
+        Returns the completion time.  Back-to-back reservations queue behind
+        one another, modelling a saturated link.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot reserve negative bytes")
+        start = max(now, self.available_at)
+        duration = nbytes / self.rate_bytes_per_sec if self.rate_bytes_per_sec > 0 else 0.0
+        self.available_at = start + duration
+        self.bytes_sent += nbytes
+        return self.available_at
+
+    def backlog_seconds(self, now: float) -> float:
+        """Seconds of queued work ahead of a reservation made at *now*."""
+        return max(0.0, self.available_at - now)
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits/sec to bytes/sec (paper quotes link speeds in kbps)."""
+    return value * 1000.0 / 8.0

@@ -1,0 +1,156 @@
+"""Wide-area network model: pairwise latencies and access links.
+
+The paper's Emulab testbed emulated pairwise end-to-end latencies measured
+between thousands of DNS servers (the King dataset; mean RTT ≈ 90 ms in
+their topology) and per-node access links of 1500 or 384 kbps.  We have no
+King matrix offline, so nodes are placed in a synthetic 2-D latency space:
+RTTs are a base propagation floor plus Euclidean distance, scaled so the
+mean pairwise RTT matches a target.  This preserves what the experiments
+consume — a broad RTT distribution with several-hundred-millisecond spread
+and geometric consistency (closeness is mutual and roughly transitive) —
+without the proprietary trace.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.sim.engine import TokenBucket
+
+DEFAULT_MEAN_RTT = 0.090  # seconds; matches the paper's topology
+MIN_RTT = 0.005
+
+
+class LatencyModel:
+    """Pairwise RTTs from synthetic 2-D coordinates.
+
+    Construct via :meth:`random`.  RTT(a, b) = base + |coord_a - coord_b|,
+    scaled so the expected RTT between two random nodes equals
+    ``mean_rtt``.
+    """
+
+    def __init__(self, coords: Dict[str, Tuple[float, float]], base_rtt: float, scale: float) -> None:
+        self._coords = coords
+        self._base = base_rtt
+        self._scale = scale
+
+    @classmethod
+    def random(
+        cls,
+        names: Iterable[str],
+        rng: random.Random,
+        *,
+        mean_rtt: float = DEFAULT_MEAN_RTT,
+        base_rtt: float = MIN_RTT,
+    ) -> "LatencyModel":
+        """Place *names* uniformly in the unit square, scale to *mean_rtt*.
+
+        The expected distance between two uniform points in the unit square
+        is ~0.5214; the scale makes base + scale * E[dist] == mean_rtt.
+        """
+        names = list(names)
+        if not names:
+            raise ValueError("need at least one node")
+        expected_unit_distance = 0.5214
+        scale = max(0.0, (mean_rtt - base_rtt) / expected_unit_distance)
+        coords = {name: (rng.random(), rng.random()) for name in names}
+        return cls(coords, base_rtt, scale)
+
+    @classmethod
+    def from_matrix(cls, rtts: Dict[Tuple[str, str], float]) -> "LatencyModel":
+        """Build a model from measured pairwise RTTs (e.g. a King matrix).
+
+        The matrix is symmetrized (mean of both directions when both are
+        given) and missing pairs fall back to the matrix mean, so partial
+        measurement sets still work.
+        """
+        if not rtts:
+            raise ValueError("matrix must not be empty")
+        model = cls({}, base_rtt=0.0, scale=0.0)
+        table: Dict[Tuple[str, str], float] = {}
+        names = set()
+        for (a, b), value in rtts.items():
+            if value < 0:
+                raise ValueError(f"negative RTT for ({a}, {b})")
+            names.update((a, b))
+            lo, hi = (a, b) if a <= b else (b, a)
+            if (lo, hi) in table:
+                table[(lo, hi)] = (table[(lo, hi)] + value) / 2.0
+            else:
+                table[(lo, hi)] = value
+        model._coords = {name: (0.0, 0.0) for name in names}
+        model._table = table
+        model._table_default = sum(table.values()) / len(table)
+        return model
+
+    def rtt(self, a: str, b: str) -> float:
+        """Round-trip time between nodes *a* and *b*, in seconds."""
+        if a == b:
+            return 0.0
+        table = getattr(self, "_table", None)
+        if table is not None:
+            lo, hi = (a, b) if a <= b else (b, a)
+            return table.get((lo, hi), self._table_default)
+        ax, ay = self._coords[a]
+        bx, by = self._coords[b]
+        return self._base + self._scale * math.hypot(ax - bx, ay - by)
+
+    def one_way(self, a: str, b: str) -> float:
+        return self.rtt(a, b) / 2.0
+
+    def path_latency(self, path: Sequence[str]) -> float:
+        """One-way latency along a multi-hop path (recursive lookup legs)."""
+        return sum(self.one_way(path[i], path[i + 1]) for i in range(len(path) - 1))
+
+    def add_node(self, name: str, rng: random.Random) -> None:
+        self._coords[name] = (rng.random(), rng.random())
+
+    def nodes(self) -> List[str]:
+        return list(self._coords)
+
+    def mean_rtt_sample(self, rng: random.Random, samples: int = 2000) -> float:
+        """Empirical mean RTT over random node pairs (for calibration tests)."""
+        names = list(self._coords)
+        if len(names) < 2:
+            return 0.0
+        total = 0.0
+        for _ in range(samples):
+            a, b = rng.sample(names, 2)
+            total += self.rtt(a, b)
+        return total / samples
+
+
+class AccessLinks:
+    """Per-node access-link capacity (upload side) as token buckets.
+
+    The paper limits each virtual node's access link to 1500 or 384 kbps
+    and notes these are far below core speeds, so only the edge is
+    modelled.  Client download links are unconstrained (Section 9.1).
+    """
+
+    def __init__(self, rate_bytes_per_sec: float) -> None:
+        if rate_bytes_per_sec <= 0:
+            raise ValueError("link rate must be positive")
+        self.rate = rate_bytes_per_sec
+        self._links: Dict[str, TokenBucket] = {}
+
+    def link(self, name: str) -> TokenBucket:
+        bucket = self._links.get(name)
+        if bucket is None:
+            bucket = TokenBucket(self.rate)
+            self._links[name] = bucket
+        return bucket
+
+    def reserve_upload(self, name: str, now: float, nbytes: int) -> float:
+        """Serialize *nbytes* through *name*'s uplink; returns finish time."""
+        return self.link(name).reserve(now, nbytes)
+
+    def backlog(self, name: str, now: float) -> float:
+        return self.link(name).backlog_seconds(now)
+
+    def bytes_uploaded(self, name: str) -> int:
+        bucket = self._links.get(name)
+        return bucket.bytes_sent if bucket else 0

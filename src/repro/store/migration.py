@@ -1,0 +1,339 @@
+"""Storage coordinator: write/remove paths, moves, pointers, migration traffic.
+
+This is the glue between the ring, the block directory, and the load
+balancer.  It implements the :class:`repro.dht.load_balance.BalanceCoordinator`
+protocol and is the single place where *data actually moves*, so it is also
+where migration traffic — the cost the paper quantifies in Table 4 — is
+accounted.
+
+Physical placement is tracked exactly: ``physical_at[key]`` names the node
+holding the primary copy's bytes.  Responsibility is always derived from
+the ring.  A *pointer* exists implicitly wherever responsibility and
+physical placement disagree; pointer ranges record when a disagreement was
+created so stabilization (the deferred fetch) can fire after the configured
+delay.  Secondary replicas track the primary placement (footnote 3 of the
+paper: balanced primaries imply balanced totals), so migration volumes are
+reported for primaries and scaled by the replica count where total traffic
+is needed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dht.ring import Ring
+from repro.sim.engine import Simulator
+from repro.store.block_store import BlockDirectory
+from repro.store.pointers import PointerRange, PointerTable
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass
+class TrafficLedger:
+    """Byte counters for written / removed / migrated data, bucketed by day.
+
+    Tables 3 and 4 of the paper report daily write volume ``W_i``, removal
+    volume ``R_i``, and load-balancing (migration) volume ``L_i``; this
+    ledger produces exactly those series.
+    """
+
+    written_by_day: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    removed_by_day: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    migrated_by_day: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    total_written: int = 0
+    total_removed: int = 0
+    total_migrated: int = 0
+
+    def record_write(self, now: float, nbytes: int) -> None:
+        self.written_by_day[int(now // SECONDS_PER_DAY)] += nbytes
+        self.total_written += nbytes
+
+    def record_remove(self, now: float, nbytes: int) -> None:
+        self.removed_by_day[int(now // SECONDS_PER_DAY)] += nbytes
+        self.total_removed += nbytes
+
+    def record_migration(self, now: float, nbytes: int) -> None:
+        self.migrated_by_day[int(now // SECONDS_PER_DAY)] += nbytes
+        self.total_migrated += nbytes
+
+    def daily_series(self, days: int) -> List[dict]:
+        """Per-day ``{day, written, removed, migrated}`` rows for reports."""
+        return [
+            {
+                "day": day + 1,
+                "written": self.written_by_day.get(day, 0),
+                "removed": self.removed_by_day.get(day, 0),
+                "migrated": self.migrated_by_day.get(day, 0),
+            }
+            for day in range(days)
+        ]
+
+
+class StorageCoordinator:
+    """Authoritative storage state machine for one simulated DHT deployment.
+
+    Parameters
+    ----------
+    ring, sim:
+        Shared ring membership and event engine.
+    pointer_stabilization_time:
+        Delay before an adopted range's blocks are actually fetched
+        (paper: 1 hour).
+    use_pointers:
+        When False, moves transfer blocks immediately — the paper's
+        "unnecessary data transfers" strawman (Figure 6), kept as an
+        ablation.
+    removal_delay:
+        Grace period before a removed block leaves the directory
+        (paper: 30 s, matching the write-back cache staleness bound).
+    replica_count:
+        ``r``; used when reporting total (primary + secondary) volumes.
+    """
+
+    def __init__(
+        self,
+        ring: Ring,
+        sim: Simulator,
+        *,
+        pointer_stabilization_time: float = 3600.0,
+        use_pointers: bool = True,
+        removal_delay: float = 30.0,
+        replica_count: int = 3,
+    ) -> None:
+        self.ring = ring
+        self.sim = sim
+        self.directory = BlockDirectory()
+        self.pointer_table = PointerTable()
+        self.ledger = TrafficLedger()
+        self.physical_at: Dict[int, str] = {}
+        self.pointer_stabilization_time = pointer_stabilization_time
+        self.use_pointers = use_pointers
+        self.removal_delay = removal_delay
+        self.replica_count = replica_count
+        self.moves_executed = 0
+        self._expires_at: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # client-facing data path
+
+    def write(self, key: int, size: int, *, ttl: Optional[float] = None) -> None:
+        """Insert (or overwrite) a block; bytes land on the current owner.
+
+        With *ttl*, the block is auto-removed when the TTL elapses without
+        a :meth:`refresh` — the paper's safety net for removals lost to
+        partitions (Section 3).  Writing again also refreshes.
+        """
+        delta = self.directory.put(key, size)
+        self.physical_at[key] = self.ring.successor(key)
+        self.ledger.record_write(self.sim.now, max(delta, size))
+        if ttl is not None:
+            self._set_expiry(key, ttl)
+        elif key in self._expires_at:
+            del self._expires_at[key]
+
+    def refresh(self, key: int, ttl: float) -> bool:
+        """Extend a TTL-guarded block's life; False if it already expired."""
+        if key not in self.directory:
+            return False
+        self._set_expiry(key, ttl)
+        return True
+
+    def expiry_of(self, key: int) -> Optional[float]:
+        """Absolute expiry time of a TTL-guarded block, or None."""
+        return self._expires_at.get(key)
+
+    def _set_expiry(self, key: int, ttl: float) -> None:
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        deadline = self.sim.now + ttl
+        self._expires_at[key] = deadline
+        self.sim.schedule(ttl, lambda: self._expire(key, deadline))
+
+    def _expire(self, key: int, deadline: float) -> None:
+        # Only the newest scheduled deadline is authoritative: refreshes
+        # leave earlier events behind as no-ops.
+        if self._expires_at.get(key) != deadline:
+            return
+        del self._expires_at[key]
+        size = self.directory.discard(key)
+        if size is not None:
+            self.physical_at.pop(key, None)
+            self.ledger.record_remove(self.sim.now, size)
+
+    def remove(self, key: int, *, delay: Optional[float] = None) -> None:
+        """Remove a block after the grace period (default: removal_delay).
+
+        Removal is idempotent with respect to the grace window: if the key
+        is gone by the time the event fires, nothing happens.
+        """
+        wait = self.removal_delay if delay is None else delay
+
+        def _expire() -> None:
+            size = self.directory.discard(key)
+            if size is not None:
+                self.physical_at.pop(key, None)
+                self.ledger.record_remove(self.sim.now, size)
+
+        if wait <= 0:
+            _expire()
+        else:
+            self.sim.schedule(wait, _expire)
+
+    def holders(self, key: int) -> List[str]:
+        """Replica group for *key*: its ``r`` distinct successors."""
+        return self.ring.successors(key, self.replica_count)
+
+    def physical_holder(self, key: int) -> str:
+        """Node physically holding the primary copy (may lag the owner)."""
+        try:
+            return self.physical_at[key]
+        except KeyError:
+            raise KeyError(f"block {key:#x} has no physical placement") from None
+
+    def is_pointer(self, key: int) -> bool:
+        """True when the responsible node holds only a pointer for *key*."""
+        return self.physical_at.get(key) != self.ring.successor(key)
+
+    # ------------------------------------------------------------------
+    # BalanceCoordinator protocol
+
+    def primary_load(self, name: str) -> int:
+        lo, hi = self.ring.range_of(name)
+        if len(self.ring) == 1:
+            return len(self.directory)
+        return self.directory.count_in_range(lo, hi)
+
+    def primary_keys(self, name: str) -> Sequence[int]:
+        lo, hi = self.ring.range_of(name)
+        if len(self.ring) == 1:
+            return list(self.directory.keys())
+        return self.directory.keys_in_range(lo, hi)
+
+    def execute_move(self, mover: str, new_id: int) -> None:
+        """Leave+rejoin of *mover* at *new_id*, with deferred data movement.
+
+        Two ranges change hands: the mover's old range (adopted by its old
+        successor) and the slice of the target's range below *new_id*
+        (adopted by the mover).  With pointers enabled both adoptions are
+        recorded and fetched after the stabilization delay; otherwise the
+        bytes move immediately.
+        """
+        old_lo, old_hi = self.ring.range_of(mover)
+        single_node = len(self.ring) == 1
+
+        self.ring.change_position(mover, new_id)
+        self.moves_executed += 1
+
+        if not single_node:
+            # Whoever owns the vacated arc now adopts it.  When the mover
+            # slid within its own neighborhood (it was already the target's
+            # predecessor) it still owns the old arc itself and no hand-off
+            # is needed.
+            adopter = self.ring.successor(old_hi)
+            if adopter != mover:
+                self._hand_off(old_lo, old_hi, adopter)
+        new_lo, new_hi = self.ring.range_of(mover)
+        self._hand_off(new_lo, new_hi, mover)
+
+    # ------------------------------------------------------------------
+    # movement mechanics
+
+    def _hand_off(self, lo: int, hi: int, adopter: str) -> None:
+        if self.use_pointers:
+            record = self.pointer_table.adopt(lo, hi, adopter, self.sim.now)
+            self.sim.schedule(
+                self.pointer_stabilization_time, lambda: self._stabilize(record)
+            )
+        else:
+            self._fetch_range(lo, hi)
+
+    def _stabilize(self, record: PointerRange) -> None:
+        """Pointer stabilization: pull in any bytes still held elsewhere."""
+        self.pointer_table.retire(record)
+        self._fetch_range(record.lo, record.hi)
+
+    def _fetch_range(self, lo: int, hi: int) -> None:
+        """Materialize every block in ``(lo, hi]`` on its current owner.
+
+        Blocks already co-located with their owner (e.g. written after the
+        adoption, or never moved) cost nothing — this is exactly the saving
+        pointers exist to capture.
+        """
+        migrated = 0
+        for key in self.directory.keys_in_range(lo, hi):
+            owner = self.ring.successor(key)
+            if self.physical_at.get(key) != owner:
+                migrated += self.directory.size_of(key)
+                self.physical_at[key] = owner
+        if migrated:
+            self.ledger.record_migration(self.sim.now, migrated)
+
+    def flush_all_pointers(self) -> None:
+        """Force-stabilize everything (used at experiment teardown)."""
+        for record in list(self.pointer_table.pending()):
+            self._stabilize(record)
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    def primary_loads(self) -> Dict[str, int]:
+        """Primary block count per node (the balancer's load metric)."""
+        return {name: self.primary_load(name) for name in self.ring.names()}
+
+    def primary_bytes(self) -> Dict[str, int]:
+        """Primary byte volume per node (storage-balance metric)."""
+        result = {}
+        for name in self.ring.names():
+            lo, hi = self.ring.range_of(name)
+            if len(self.ring) == 1:
+                result[name] = self.directory.total_bytes
+            else:
+                result[name] = self.directory.bytes_in_range(lo, hi)
+        return result
+
+    def total_loads(self) -> Dict[str, int]:
+        """Total (primary + secondary) block count per node.
+
+        A node holds replicas for its own arc and its ``r - 1``
+        predecessors' arcs.
+        """
+        primaries = self.primary_loads()
+        names = list(self.ring.names())
+        totals = {}
+        for name in names:
+            load = 0
+            cursor = name
+            for _ in range(min(self.replica_count, len(names))):
+                load += primaries[cursor]
+                cursor = self.ring.predecessor_of(cursor)
+            totals[name] = load
+        return totals
+
+    def total_bytes_per_node(self) -> Dict[str, int]:
+        """Total stored bytes per node (own arc plus r-1 predecessors').
+
+        This is the storage-load metric Figures 16 and 17 plot the
+        normalized standard deviation of.
+        """
+        primaries = self.primary_bytes()
+        names = list(self.ring.names())
+        totals = {}
+        for name in names:
+            volume = 0
+            cursor = name
+            for _ in range(min(self.replica_count, len(names))):
+                volume += primaries[cursor]
+                cursor = self.ring.predecessor_of(cursor)
+            totals[name] = volume
+        return totals
+
+    def pointer_block_count(self) -> int:
+        """Blocks whose owner currently holds only a pointer."""
+        return sum(
+            1
+            for key in self.directory.keys()
+            if self.physical_at.get(key) != self.ring.successor(key)
+        )

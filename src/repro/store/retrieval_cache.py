@@ -1,0 +1,143 @@
+"""Retrieval caches for request-load balancing (Section 6).
+
+Storage balance says nothing about *request* load: a single hot file sits
+on one replica group no matter how flat the byte distribution is.  The
+paper's answer is the classic DHT one — "D2 alleviates temporary hot spots
+using retrieval caches like traditional DHTs [PAST], thereby balancing
+both storage and request load."
+
+This module models that layer.  When a client fetches a block, the reply
+travels back through the client's gateway node, which caches the block for
+a TTL; later requests may be served by any node currently caching the
+block instead of the replica group.  The hotter an object, the more caches
+hold it, so per-node service load flattens as popularity grows — exactly
+the property the hot-spot extension experiment measures.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dht.ring import Ring
+
+
+@dataclass
+class RetrievalCacheStats:
+    requests: int = 0
+    served_by_cache: int = 0
+    served_by_replica: int = 0
+    insertions: int = 0
+    expirations: int = 0
+
+    @property
+    def cache_fraction(self) -> float:
+        return self.served_by_cache / self.requests if self.requests else 0.0
+
+
+class RetrievalCacheLayer:
+    """Block-level retrieval caching across the node population.
+
+    ``serve(key, client_node, now)`` returns the node that answers the
+    request: a fresh cache holder when one exists (chosen uniformly so the
+    load spreads), otherwise a replica.  The client's gateway node then
+    caches the block.  Per-node served-request counts are tracked for the
+    hot-spot analysis.
+    """
+
+    def __init__(
+        self,
+        ring: Ring,
+        *,
+        replica_count: int = 3,
+        cache_ttl: float = 300.0,
+        max_cached_blocks: int = 256,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.ring = ring
+        self.replica_count = replica_count
+        self.cache_ttl = cache_ttl
+        self.max_cached_blocks = max_cached_blocks
+        self._rng = rng if rng is not None else random.Random(0)
+        # key -> {node: cached_at}
+        self._holders: Dict[int, Dict[str, float]] = defaultdict(dict)
+        # node -> number of blocks it caches (for the capacity bound)
+        self._node_blocks: Counter = Counter()
+        self.served: Counter = Counter()
+        self.stats = RetrievalCacheStats()
+
+    def serve(self, key: int, client_node: str, now: float) -> str:
+        """Process one request for *key* from *client_node*; returns server."""
+        self.stats.requests += 1
+        holders = self._fresh_holders(key, now)
+        if holders:
+            server = holders[self._rng.randrange(len(holders))]
+            self.stats.served_by_cache += 1
+        else:
+            replicas = self.ring.successors(key, self.replica_count)
+            server = replicas[self._rng.randrange(len(replicas))]
+            self.stats.served_by_replica += 1
+        self.served[server] += 1
+        self._insert(key, client_node, now)
+        return server
+
+    def _fresh_holders(self, key: int, now: float) -> List[str]:
+        holders = self._holders.get(key)
+        if not holders:
+            return []
+        fresh = []
+        stale = []
+        for node, cached_at in holders.items():
+            if now - cached_at < self.cache_ttl:
+                fresh.append(node)
+            else:
+                stale.append(node)
+        for node in stale:
+            del holders[node]
+            self._node_blocks[node] -= 1
+            self.stats.expirations += 1
+        return fresh
+
+    def _insert(self, key: int, node: str, now: float) -> None:
+        holders = self._holders[key]
+        if node not in holders and self._node_blocks[node] >= self.max_cached_blocks:
+            return  # node's cache is full; skip (simple admission policy)
+        if node not in holders:
+            self._node_blocks[node] += 1
+            self.stats.insertions += 1
+        holders[node] = now
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+
+    def served_counts(self) -> Dict[str, int]:
+        counts = dict(self.served)
+        for name in self.ring.names():
+            counts.setdefault(name, 0)
+        return counts
+
+    def hot_spot_factor(self) -> float:
+        """Max served-requests over mean — 1.0 means perfectly spread."""
+        counts = list(self.served_counts().values())
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 0.0
+
+
+def replica_only_service(
+    ring: Ring,
+    requests: Sequence[Tuple[int, str]],
+    *,
+    replica_count: int = 3,
+    rng: Optional[random.Random] = None,
+) -> Counter:
+    """Baseline: every request served by a random replica (no caching)."""
+    rng = rng if rng is not None else random.Random(0)
+    served: Counter = Counter()
+    for key, _client in requests:
+        replicas = ring.successors(key, replica_count)
+        served[replicas[rng.randrange(len(replicas))]] += 1
+    for name in ring.names():
+        served.setdefault(name, 0)
+    return served

@@ -1,0 +1,121 @@
+"""Synthetic HP-like block-level disk trace (Figure 3's HP workload).
+
+The real HP trace (Cello, 1999) records block-level accesses from a
+multi-disk research server: each access names a physical disk block, and
+the paper exploits the fact that local file systems allocate temporally
+related data in nearby blocks — so ordering keys by block number preserves
+most task locality even without path information.
+
+The generator reproduces that structure: each application ("user" in the
+paper's analysis, identified by pid) owns a handful of *extents* — dense
+block regions, as a file-system allocator would produce — and issues
+sequential runs inside them with occasional seeks, plus some accesses to
+shared extents (binaries, swap).  Only reads/writes of block addresses are
+emitted; blocks are named by zero-padded decimal strings so that
+lexicographic name order equals numeric block order (the paper's *ordered*
+scenario for HP).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.workloads.trace import READ, SECONDS_PER_DAY, Trace, TraceRecord, WRITE
+
+BLOCK_NAME_WIDTH = 12
+
+
+def block_name(block_number: int) -> str:
+    """Stable name whose lexicographic order is numeric order."""
+    return f"/blk/{block_number:0{BLOCK_NAME_WIDTH}d}"
+
+
+@dataclass(frozen=True)
+class HPConfig:
+    applications: int = 12
+    days: float = 7.0
+    disk_blocks: int = 2_000_000          # 8 KB blocks ~ 16 GB disk
+    extents_per_app: int = 6
+    extent_blocks_mean: int = 4096        # dense allocator regions
+    runs_per_active_hour: float = 30.0
+    run_length_mean: float = 48.0         # sequential blocks per run
+    seek_within_extent: float = 0.85      # else jump to another extent
+    shared_extents: int = 2
+    write_fraction: float = 0.3
+    intra_run_gap: float = 0.02
+    work_start_hour: int = 8
+    work_end_hour: int = 20
+    off_hours_activity: float = 0.15
+    seed: int = 0
+
+
+def generate_hp(config: HPConfig = HPConfig()) -> Trace:
+    rng = random.Random(config.seed)
+
+    # Carve extents out of the disk; apps own private extents plus shares.
+    def carve() -> Tuple[int, int]:
+        length = max(256, int(rng.expovariate(1.0 / config.extent_blocks_mean)))
+        start = rng.randrange(max(1, config.disk_blocks - length))
+        return start, length
+
+    shared = [carve() for _ in range(config.shared_extents)]
+    records: List[TraceRecord] = []
+    for a in range(config.applications):
+        app = f"app{a:03d}"
+        extents = [carve() for _ in range(config.extents_per_app)]
+        _generate_app(app, extents, shared, config, rng, records)
+
+    return Trace(name="hp-synth", records=records)
+
+
+def _generate_app(
+    app: str,
+    extents: List[Tuple[int, int]],
+    shared: List[Tuple[int, int]],
+    config: HPConfig,
+    rng: random.Random,
+    records: List[TraceRecord],
+) -> None:
+    total_seconds = config.days * SECONDS_PER_DAY
+    current_extent = rng.choice(extents)
+    hour = 0
+    while hour * 3600.0 < total_seconds:
+        hour_of_day = hour % 24
+        active = config.work_start_hour <= hour_of_day < config.work_end_hour
+        rate = config.runs_per_active_hour if active else (
+            config.runs_per_active_hour * config.off_hours_activity
+        )
+        for _ in range(_poisson(rng, rate)):
+            start_time = hour * 3600.0 + rng.uniform(0.0, 3600.0)
+            if rng.random() >= config.seek_within_extent:
+                pool = extents + (shared if rng.random() < 0.5 else [])
+                current_extent = rng.choice(pool)
+            base, length = current_extent
+            run = max(1, int(rng.expovariate(1.0 / config.run_length_mean)))
+            offset = rng.randrange(max(1, length))
+            op = WRITE if rng.random() < config.write_fraction else READ
+            when = start_time
+            for i in range(run):
+                block = base + (offset + i) % length
+                records.append(
+                    TraceRecord(when, app, op, block_name(block), offset=0, length=8192)
+                )
+                when += rng.expovariate(1.0 / config.intra_run_gap) if config.intra_run_gap > 0 else 0.0
+        hour += 1
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    import math
+
+    if lam <= 0:
+        return 0
+    threshold = math.exp(-lam)
+    k = 0
+    p = 1.0
+    while True:
+        p *= rng.random()
+        if p <= threshold:
+            return k
+        k += 1

@@ -1,0 +1,54 @@
+"""Workload scaling by file-system replication (Section 9.1).
+
+"In experiments with larger system sizes, we scale up the workload
+accordingly by replicating the initial file system ... we have 5.5 million
+blocks in the 200 node experiment, so in the 1000 node experiment, we add
+four extra copies of the file system ... Since we only have 83 distinct
+access patterns, we still only replay accesses from 83 users."
+
+This helper does exactly that: the initial image (directories and files)
+is cloned under ``/replicaN`` prefixes so the stored-data volume grows
+with the node count, while the access stream is left untouched — keeping
+per-node storage constant across system sizes, which is what makes the
+paper's cross-size comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.trace import Trace
+
+
+def replicate_filesystem(trace: Trace, extra_copies: int) -> Trace:
+    """A trace whose initial image contains ``extra_copies`` clones.
+
+    Copy 0 is the original (accessed by the replayed users); copies live
+    under ``/replica1`` .. ``/replicaN`` and are never accessed — they are
+    storage ballast, exactly as in the paper.
+    """
+    if extra_copies < 0:
+        raise ValueError("extra_copies must be non-negative")
+    if extra_copies == 0:
+        return trace
+    dirs: List[str] = list(trace.initial_dirs)
+    files: List[Tuple[str, int]] = list(trace.initial_files)
+    for copy in range(1, extra_copies + 1):
+        prefix = f"/replica{copy}"
+        dirs.append(prefix)
+        dirs.extend(f"{prefix}{d}" for d in trace.initial_dirs)
+        files.extend((f"{prefix}{path}", size) for path, size in trace.initial_files)
+    return Trace(
+        name=f"{trace.name}+{extra_copies}copies",
+        records=list(trace.records),
+        initial_dirs=dirs,
+        initial_files=files,
+    )
+
+
+def copies_for_size(base_nodes: int, target_nodes: int) -> int:
+    """Extra copies needed to keep per-node data constant when growing
+    from *base_nodes* to *target_nodes* (the paper: 200 -> 1000 adds 4)."""
+    if base_nodes <= 0 or target_nodes <= 0:
+        raise ValueError("node counts must be positive")
+    return max(0, round(target_nodes / base_nodes) - 1)

@@ -1,0 +1,78 @@
+"""Unit tests for the ablation drivers at tiny scale."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_cache_ttl_ablation,
+    run_pointer_ablation,
+    run_replica_ablation,
+    run_sampling_ablation,
+    run_threshold_ablation,
+)
+
+TINY = dict(n_nodes=10, files=60, file_size=32_000, seed=3)
+
+
+class TestPointerAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_pointer_ablation(churn_rounds=1, **TINY)
+
+    def test_both_variants_present(self, rows):
+        assert {row["pointers"] for row in rows} == {"on", "off"}
+
+    def test_same_data_written(self, rows):
+        written = {row["written_mb"] for row in rows}
+        assert len(written) == 1
+
+    def test_pointers_reduce_migration(self, rows):
+        by = {row["pointers"]: row for row in rows}
+        assert by["on"]["migrated_mb"] <= by["off"]["migrated_mb"]
+
+    def test_same_final_balance(self, rows):
+        by = {row["pointers"]: row for row in rows}
+        assert by["on"]["final_nsd"] == pytest.approx(by["off"]["final_nsd"])
+        assert by["on"]["moves"] == by["off"]["moves"]
+
+
+class TestThresholdAblation:
+    def test_bounds_respected(self):
+        rows = run_threshold_ablation(thresholds=(2.5, 6.0), **TINY)
+        for row in rows:
+            assert row["max_over_mean"] <= row["threshold"] + 0.5
+            assert row["moves"] >= 0
+
+
+class TestCacheTtlAblation:
+    def test_short_ttl_costs_more(self):
+        rows = run_cache_ttl_ablation(
+            ttls=(30.0, 4500.0), n_nodes=16, accesses=800, seed=3
+        )
+        by = {row["ttl_s"]: row for row in rows}
+        assert by[30.0]["miss_rate"] > by[4500.0]["miss_rate"]
+        assert by[30.0]["total_lookup_cost"] >= by[4500.0]["total_lookup_cost"]
+
+
+class TestReplicaAblation:
+    def test_more_replicas_never_hurt(self):
+        rows = run_replica_ablation(
+            replica_counts=(2, 4), n_nodes=20, users=2, days=0.5, seed=3
+        )
+        by = {row["replicas"]: row for row in rows}
+        for system in ("d2", "traditional"):
+            assert by[4][f"unavail_{system}"] <= by[2][f"unavail_{system}"]
+
+    def test_d2_at_most_traditional(self):
+        rows = run_replica_ablation(
+            replica_counts=(3,), n_nodes=20, users=2, days=0.5, seed=3
+        )
+        row = rows[0]
+        assert row["unavail_d2"] <= row["unavail_traditional"]
+
+
+class TestSamplingAblation:
+    def test_both_strategies_converge(self):
+        rows = run_sampling_ablation(**TINY)
+        assert {row["sampling"] for row in rows} == {"membership", "random-walk"}
+        for row in rows:
+            assert row["max_over_mean"] <= 4.5

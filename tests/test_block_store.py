@@ -1,0 +1,150 @@
+"""Tests for the block directory (sorted index with circular range queries)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dht.keyspace import MAX_KEY
+from repro.store.block_store import BlockDirectory, BlockDirectoryError
+
+
+class TestMutation:
+    def test_add_and_contains(self):
+        d = BlockDirectory()
+        d.add(10, 100)
+        assert 10 in d
+        assert len(d) == 1
+        assert d.size_of(10) == 100
+
+    def test_add_duplicate_rejected(self):
+        d = BlockDirectory()
+        d.add(10, 100)
+        with pytest.raises(BlockDirectoryError):
+            d.add(10, 200)
+
+    def test_put_upserts(self):
+        d = BlockDirectory()
+        assert d.put(10, 100) == 100
+        assert d.put(10, 250) == 150
+        assert d.size_of(10) == 250
+        assert d.total_bytes == 250
+
+    def test_remove_returns_size(self):
+        d = BlockDirectory()
+        d.add(10, 100)
+        assert d.remove(10) == 100
+        assert 10 not in d
+        assert d.total_bytes == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(BlockDirectoryError):
+            BlockDirectory().remove(10)
+
+    def test_discard_missing_returns_none(self):
+        assert BlockDirectory().discard(10) is None
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(BlockDirectoryError):
+            BlockDirectory().add(10, -1)
+
+    def test_total_bytes_tracks(self):
+        d = BlockDirectory()
+        d.add(1, 10)
+        d.add(2, 20)
+        d.remove(1)
+        assert d.total_bytes == 20
+
+
+class TestRangeQueries:
+    def make(self):
+        d = BlockDirectory()
+        for key in (10, 20, 30, 40, 50):
+            d.add(key, key)
+        return d
+
+    def test_simple_range(self):
+        d = self.make()
+        assert d.keys_in_range(15, 45) == [20, 30, 40]
+        assert d.count_in_range(15, 45) == 3
+
+    def test_lo_exclusive_hi_inclusive(self):
+        d = self.make()
+        assert d.keys_in_range(10, 30) == [20, 30]
+
+    def test_wrapping_range(self):
+        d = self.make()
+        assert d.keys_in_range(45, 15) == [50, 10]
+        assert d.count_in_range(45, 15) == 2
+
+    def test_full_ring_when_lo_equals_hi(self):
+        d = self.make()
+        assert d.count_in_range(25, 25) == 5
+        assert sorted(d.keys_in_range(25, 25)) == [10, 20, 30, 40, 50]
+
+    def test_full_ring_order_is_clockwise(self):
+        d = self.make()
+        assert d.keys_in_range(25, 25) == [30, 40, 50, 10, 20]
+
+    def test_empty_directory(self):
+        d = BlockDirectory()
+        assert d.keys_in_range(0, MAX_KEY) == []
+        assert d.count_in_range(0, MAX_KEY) == 0
+
+    def test_bytes_in_range(self):
+        d = self.make()
+        assert d.bytes_in_range(15, 45) == 20 + 30 + 40
+
+    def test_counts_match_keys(self):
+        d = self.make()
+        for lo, hi in ((0, 25), (25, 0), (10, 10), (49, 51)):
+            assert d.count_in_range(lo, hi) == len(d.keys_in_range(lo, hi))
+
+    def test_mutation_invalidates_index(self):
+        d = self.make()
+        assert d.count_in_range(15, 45) == 3
+        d.add(25, 25)
+        assert d.count_in_range(15, 45) == 4
+        d.remove(25)
+        assert d.count_in_range(15, 45) == 3
+
+
+class TestMedian:
+    def test_median_simple(self):
+        d = BlockDirectory()
+        for key in (10, 20, 30, 40):
+            d.add(key, 1)
+        assert d.median_key_in_range(5, 45) == 20
+
+    def test_median_needs_two_keys(self):
+        d = BlockDirectory()
+        d.add(10, 1)
+        assert d.median_key_in_range(0, 100) is None
+
+    def test_median_not_at_hi(self):
+        d = BlockDirectory()
+        d.add(10, 1)
+        d.add(20, 1)
+        assert d.median_key_in_range(0, 20) == 10
+
+
+class TestSnapshotLoads:
+    def test_loads_per_arc(self):
+        d = BlockDirectory()
+        for key in (10, 20, 30, 40, 50):
+            d.add(key, 1)
+        loads = d.snapshot_loads([(5, 25, "a"), (25, 55, "b"), (55, 5, "c")])
+        assert loads == {"a": 2, "b": 3, "c": 0}
+
+
+@given(st.sets(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60),
+       st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=0, max_value=10_000))
+def test_range_query_matches_bruteforce(keyset, lo, hi):
+    from repro.dht.keyspace import in_interval
+
+    d = BlockDirectory()
+    for key in keyset:
+        d.add(key, 1)
+    expected = sorted(k for k in keyset if lo == hi or in_interval(k, lo, hi))
+    got = sorted(d.keys_in_range(lo, hi))
+    assert got == expected

@@ -1,0 +1,31 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table4" in out and "hybrid" in out
+
+    def test_default_is_list(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "finished in" in out
+
+    def test_runs_multiple(self, capsys):
+        assert main(["table1", "hotspot"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "hot spot" in out.lower()

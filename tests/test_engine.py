@@ -1,0 +1,223 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import EventHandle, SimulationError, Simulator, TokenBucket, kbps
+
+
+class TestSimulatorBasics:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=42.0).now == 42.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_same_time_events_fire_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_zero_delay_event_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_at(15.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [15.0]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(sim.now)
+            sim.schedule(2.0, lambda: fired.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [1.0, 3.0]
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_continuing_run_fires_remaining_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        sim.run(until=20.0)
+        assert fired == [1, 10]
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(True))
+        sim.run(until=5.0)
+        assert fired == [True]
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(True))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(True))
+        sim.run()
+        sim.cancel(handle)
+        assert fired == [True]
+
+    def test_step_skips_cancelled(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.cancel(handle)
+        assert sim.step() is True
+        assert fired == ["b"]
+
+
+class TestStep:
+    def test_step_fires_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert Simulator().step() is False
+
+
+class TestPeriodicTask:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_periodic(10.0, lambda: fired.append(sim.now))
+        sim.run(until=35.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_first_delay_override(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_periodic(10.0, lambda: fired.append(sim.now), first_delay=1.0)
+        sim.run(until=12.0)
+        assert fired == [1.0, 11.0]
+
+    def test_cancel_stops_future_firings(self):
+        sim = Simulator()
+        fired = []
+        task = sim.schedule_periodic(10.0, lambda: fired.append(sim.now))
+        sim.run(until=15.0)
+        task.cancel()
+        sim.run(until=100.0)
+        assert fired == [10.0]
+
+    def test_jitter_applied(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_periodic(10.0, lambda: fired.append(sim.now), jitter=lambda: 1.0)
+        sim.run(until=25.0)
+        assert fired == [11.0, 22.0]
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_periodic(0.0, lambda: None)
+
+
+class TestTokenBucket:
+    def test_reserve_duration(self):
+        bucket = TokenBucket(rate_bytes_per_sec=100.0)
+        assert bucket.reserve(0.0, 200) == pytest.approx(2.0)
+
+    def test_back_to_back_reservations_queue(self):
+        bucket = TokenBucket(rate_bytes_per_sec=100.0)
+        bucket.reserve(0.0, 100)
+        assert bucket.reserve(0.0, 100) == pytest.approx(2.0)
+
+    def test_idle_bucket_starts_at_now(self):
+        bucket = TokenBucket(rate_bytes_per_sec=100.0)
+        bucket.reserve(0.0, 100)
+        assert bucket.reserve(10.0, 100) == pytest.approx(11.0)
+
+    def test_backlog_seconds(self):
+        bucket = TokenBucket(rate_bytes_per_sec=100.0)
+        bucket.reserve(0.0, 300)
+        assert bucket.backlog_seconds(1.0) == pytest.approx(2.0)
+        assert bucket.backlog_seconds(10.0) == 0.0
+
+    def test_bytes_accounted(self):
+        bucket = TokenBucket(rate_bytes_per_sec=100.0)
+        bucket.reserve(0.0, 100)
+        bucket.reserve(0.0, 50)
+        assert bucket.bytes_sent == 150
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(100.0).reserve(0.0, -1)
+
+    def test_kbps_conversion(self):
+        assert kbps(1500) == pytest.approx(187500.0)
+        assert kbps(750) == pytest.approx(93750.0)
+
+
+class TestReentrancy:
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+
+        def reenter():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1.0, reenter)
+        sim.run()

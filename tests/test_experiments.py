@@ -1,0 +1,240 @@
+"""Smoke tests for the per-figure experiment drivers at tiny scale.
+
+Each driver must run end-to-end and produce rows with the fields its
+formatter prints; the paper-shape assertions live in the benchmarks, which
+run at larger scale.
+"""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.common import clear_cache, format_table
+
+TINY = dict(users=3, days=0.5, seed=21)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": None}]
+        text = format_table(rows, ["a", "b"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([], ["a"], title="T")
+
+
+class TestTable1:
+    def test_rows(self):
+        from repro.experiments.table1_workloads import format_table1, run_table1
+
+        rows = run_table1(**TINY)
+        assert len(rows) == 3
+        assert {row["workload"] for row in rows} == {
+            "hp-synth", "harvard-synth", "web-synth"
+        }
+        assert all(row["accesses"] > 0 for row in rows)
+        assert "Table 1" in format_table1(rows)
+
+
+class TestFig3:
+    def test_rows_and_shape(self):
+        from repro.experiments.fig3_locality import format_fig3, run_fig3
+
+        rows = run_fig3(**TINY)
+        assert len(rows) == 9  # 3 workloads x 3 scenarios
+        by_key = {(r["workload"], r["scenario"]): r for r in rows}
+        for workload in ("hp-synth", "harvard-synth", "web-synth"):
+            trad = by_key[(workload, "traditional")]
+            ordered = by_key[(workload, "ordered")]
+            bound = by_key[(workload, "lower-bound")]
+            assert trad["normalized"] == 1.0
+            assert ordered["normalized"] < 1.0
+            assert bound["normalized"] <= ordered["normalized"] + 1e-9
+        assert "Figure 3" in format_fig3(rows)
+
+
+class TestAvailabilityDrivers:
+    @pytest.fixture(scope="class")
+    def kwargs(self):
+        return dict(
+            users=3, days=0.5, seed=21, trials=1, n_nodes=16,
+            inters=(5.0, 60.0),
+        )
+
+    def test_fig7(self, kwargs):
+        from repro.experiments.fig7_unavailability import format_fig7, run_fig7
+
+        rows = run_fig7(**kwargs)
+        assert len(rows) == 6  # 2 inters x 3 systems
+        assert all(0.0 <= r["mean_unavailability"] <= 1.0 for r in rows)
+        assert "Figure 7" in format_fig7(rows)
+
+    def test_fig8(self, kwargs):
+        from repro.experiments.fig8_per_user import format_fig8, run_fig8
+
+        rows = run_fig8(inter=5.0, **{k: v for k, v in kwargs.items() if k != "inters"})
+        assert any(r["rank"] == "affected-users" for r in rows)
+        assert "Figure 8" in format_fig8(rows)
+
+    def test_table2(self, kwargs):
+        from repro.experiments.table2_tasks import format_table2, run_table2
+
+        rows = run_table2(**kwargs)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["nodes_d2"] <= row["nodes_traditional"]
+            assert row["blocks_per_task"] >= row["files_per_task"]
+        assert "Table 2" in format_table2(rows)
+
+
+class TestPerformanceDrivers:
+    @pytest.fixture(scope="class")
+    def kwargs(self):
+        return dict(
+            users=3, days=0.5, seed=21,
+            node_sizes=(12, 24), bandwidths_kbps=(1500.0,), n_windows=2,
+        )
+
+    def test_fig9(self, kwargs):
+        from repro.experiments.fig9_lookup_traffic import format_fig9, run_fig9
+
+        rows = run_fig9(**kwargs)
+        assert len(rows) == 4  # 2 modes x 2 sizes
+        for row in rows:
+            assert row["msgs_per_node_d2"] <= row["msgs_per_node_traditional"]
+        assert "Figure 9" in format_fig9(rows)
+
+    def test_fig10_and_11(self, kwargs):
+        from repro.experiments.fig10_speedup import format_fig10, run_fig10
+        from repro.experiments.fig11_speedup_file import run_fig11
+
+        rows = run_fig10(**kwargs)
+        assert all(row["speedup"] > 0 for row in rows)
+        assert "Figure 10" in format_fig10(rows)
+        rows11 = run_fig11(**kwargs)
+        assert len(rows11) == len(rows)
+
+    def test_fig12(self, kwargs):
+        from repro.experiments.fig12_per_user_speedup import format_fig12, run_fig12
+
+        rows = run_fig12(**kwargs)
+        assert rows
+        per_mode = [r for r in rows if r["mode"] == "seq"]
+        speeds = [r["speedup"] for r in per_mode]
+        assert speeds == sorted(speeds, reverse=True)
+        assert "Figure 12" in format_fig12(rows)
+
+    def test_fig13(self, kwargs):
+        from repro.experiments.fig13_cache_miss import format_fig13, run_fig13
+
+        rows = run_fig13(**kwargs)
+        for row in rows:
+            assert 0.0 <= row["miss_rate_d2"] <= 1.0
+            assert row["miss_rate_d2"] <= row["miss_rate_traditional"]
+        assert "Figure 13" in format_fig13(rows)
+
+    def test_fig14_and_15(self, kwargs):
+        from repro.experiments.fig14_latency_scatter import (
+            format_fig14,
+            run_fig14,
+            scatter_points,
+        )
+        from repro.experiments.fig15_latency_scatter_file import run_fig15
+
+        rows = run_fig14(**kwargs)
+        for row in rows:
+            assert row["faster_in_d2"] <= row["groups"]
+        assert "Figure 14" in format_fig14(rows)
+        points = scatter_points(mode="seq", **kwargs)
+        assert all(p["baseline_s"] >= 0 and p["d2_s"] >= 0 for p in points)
+        assert run_fig15(**kwargs)
+
+
+class TestBalanceDrivers:
+    @pytest.fixture(scope="class")
+    def kwargs(self):
+        return dict(n_nodes=12, days=1.0, seed=21)
+
+    def test_table3(self, kwargs):
+        from repro.experiments.table3_churn import format_table3, run_table3
+
+        rows = run_table3(users=3, **kwargs)
+        workloads = {row["workload"] for row in rows}
+        assert workloads == {"Harvard", "Webcache"}
+        assert "Table 3" in format_table3(rows)
+
+    def test_fig16(self, kwargs):
+        from repro.experiments.fig16_imbalance_harvard import (
+            format_fig16,
+            run_fig16,
+            summarize_fig16,
+        )
+
+        rows = run_fig16(users=3, **kwargs)
+        assert {r["system"] for r in rows} == {
+            "d2", "traditional", "traditional-file", "traditional+merc"
+        }
+        summary = summarize_fig16(users=3, **kwargs)
+        assert "Figure 16" in format_fig16(summary)
+
+    def test_fig17(self, kwargs):
+        from repro.experiments.fig17_imbalance_webcache import (
+            format_fig17,
+            run_fig17,
+            summarize_fig17,
+        )
+
+        rows = run_fig17(**kwargs)
+        assert {r["system"] for r in rows} == {"d2", "traditional"}
+        assert "Figure 17" in format_fig17(summarize_fig17(**kwargs))
+
+    def test_table4(self, kwargs):
+        from repro.experiments.table4_overhead import (
+            format_table4,
+            migration_over_write,
+            run_table4,
+        )
+
+        rows = run_table4(users=3, **kwargs)
+        assert any(row["day"] == "total L/W" for row in rows)
+        ratios = migration_over_write(users=3, **kwargs)
+        assert set(ratios) == {"harvard", "webcache"}
+        assert "Table 4" in format_table4(rows)
+
+
+class TestDriverPlots:
+    """ASCII plot variants of the time-series/scatter drivers."""
+
+    def test_fig16_plot(self):
+        from repro.experiments.fig16_imbalance_harvard import plot_fig16
+
+        chart = plot_fig16(users=3, n_nodes=12, days=1.0, seed=21)
+        assert "Figure 16" in chart
+        assert "o=d2" in chart
+
+    def test_fig17_plot(self):
+        from repro.experiments.fig17_imbalance_webcache import plot_fig17
+
+        chart = plot_fig17(n_nodes=12, days=1.0, seed=21)
+        assert "Figure 17" in chart
+        assert "days" in chart
+
+    def test_fig14_plot(self):
+        from repro.experiments.fig14_latency_scatter import plot_fig14
+
+        chart = plot_fig14(
+            mode="seq", users=3, days=0.5, seed=21,
+            node_sizes=(12,), bandwidths_kbps=(1500.0,), n_windows=2,
+        )
+        assert "Figure 14" in chart
+        assert "diagonal" in chart

@@ -1,0 +1,153 @@
+"""Tests for the synthetic failure-trace generator."""
+
+import random
+
+import pytest
+
+from repro.sim.failures import (
+    FailureEvent,
+    FailureTrace,
+    FailureTraceConfig,
+    SECONDS_PER_DAY,
+)
+
+
+def generate(n=20, seed=0, **kwargs):
+    names = [f"n{i}" for i in range(n)]
+    config = FailureTraceConfig(**kwargs) if kwargs else FailureTraceConfig()
+    return FailureTrace.generate(names, random.Random(seed), config)
+
+
+class TestGeneration:
+    def test_all_nodes_start_up(self):
+        trace = generate()
+        for node in trace.nodes:
+            assert trace.is_up(node, 0.0)
+
+    def test_events_sorted(self):
+        trace = generate()
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+
+    def test_transitions_alternate(self):
+        """After normalization each node strictly alternates down/up."""
+        trace = generate(seed=3)
+        state = {node: True for node in trace.nodes}
+        for event in trace.events:
+            assert event.up != state[event.node], "duplicate transition"
+            state[event.node] = event.up
+
+    def test_events_within_duration(self):
+        trace = generate()
+        for event in trace.events:
+            assert 0 <= event.time <= trace.duration
+
+
+class TestQueries:
+    def test_is_up_tracks_transitions(self):
+        events = [
+            FailureEvent(100.0, "a", up=False),
+            FailureEvent(200.0, "a", up=True),
+        ]
+        trace = FailureTrace(["a"], events, duration=1000.0)
+        assert trace.is_up("a", 50.0)
+        assert not trace.is_up("a", 150.0)
+        assert trace.is_up("a", 250.0)
+
+    def test_boundary_applies_at_event_time(self):
+        events = [FailureEvent(100.0, "a", up=False)]
+        trace = FailureTrace(["a"], events, duration=1000.0)
+        assert not trace.is_up("a", 100.0)
+
+    def test_down_since(self):
+        events = [
+            FailureEvent(100.0, "a", up=False),
+            FailureEvent(200.0, "a", up=True),
+            FailureEvent(300.0, "a", up=False),
+        ]
+        trace = FailureTrace(["a"], events, duration=1000.0)
+        assert trace.down_since("a", 50.0) is None
+        assert trace.down_since("a", 150.0) == 100.0
+        assert trace.down_since("a", 250.0) is None
+        assert trace.down_since("a", 400.0) == 300.0
+
+    def test_up_set(self):
+        events = [FailureEvent(100.0, "a", up=False)]
+        trace = FailureTrace(["a", "b"], events, duration=1000.0)
+        assert trace.up_set(150.0) == {"b"}
+
+
+class TestAvailability:
+    def test_availability_fraction(self):
+        events = [
+            FailureEvent(250.0, "a", up=False),
+            FailureEvent(500.0, "a", up=True),
+        ]
+        trace = FailureTrace(["a"], events, duration=1000.0)
+        assert trace.availability("a") == pytest.approx(0.75)
+
+    def test_never_failing_node(self):
+        trace = FailureTrace(["a"], [], duration=1000.0)
+        assert trace.availability("a") == 1.0
+
+    def test_down_at_end(self):
+        events = [FailureEvent(800.0, "a", up=False)]
+        trace = FailureTrace(["a"], events, duration=1000.0)
+        assert trace.availability("a") == pytest.approx(0.8)
+
+    def test_mean_availability_reasonable(self):
+        trace = generate(n=40, seed=1)
+        mean = trace.mean_availability()
+        # MTTF 4 d / MTTR 4 h plus correlated outages: expect 90-99% up.
+        assert 0.85 <= mean <= 0.999
+
+
+class TestCorrelatedFailures:
+    def test_correlated_events_take_down_groups(self):
+        trace = generate(
+            n=50,
+            seed=2,
+            duration=SECONDS_PER_DAY,
+            mttf=1000 * SECONDS_PER_DAY,  # effectively no independent churn
+            correlated_events=2,
+            correlated_fraction=0.2,
+            correlated_repair=3600.0,
+        )
+        down_times = [e.time for e in trace.events if not e.up]
+        assert down_times, "correlated outages must produce failures"
+        # The victims of one outage share the same failure instant.
+        from collections import Counter
+
+        counts = Counter(down_times)
+        assert max(counts.values()) >= 5  # ~20% of 50 nodes together
+
+    def test_no_failures_config(self):
+        trace = generate(
+            n=5,
+            seed=0,
+            duration=1000.0,
+            mttf=1e12,
+            correlated_events=0,
+        )
+        assert trace.events == []
+        assert trace.mean_availability() == 1.0
+
+
+class TestOverlapNormalization:
+    def test_overlapping_downtime_merged(self):
+        """A node already down when an outage hits stays down, cleanly."""
+        from repro.sim.failures import events_from_intervals
+
+        cleaned = events_from_intervals(
+            {"a": [(100.0, 300.0), (200.0, 400.0)]}, duration=1000.0
+        )
+        assert [(e.time, e.up) for e in sorted(cleaned, key=lambda e: e.time)] == [
+            (100.0, False),
+            (400.0, True),
+        ]
+
+    def test_repair_past_end_dropped(self):
+        from repro.sim.failures import events_from_intervals
+
+        cleaned = events_from_intervals({"a": [(900.0, 1500.0)]}, duration=1000.0)
+        assert [(e.time, e.up) for e in cleaned] == [(900.0, False)]

@@ -1,0 +1,280 @@
+"""Tests for the FS layer: op emission, versioning, metadata discipline."""
+
+import pytest
+
+from repro.dht.ring import Ring
+from repro.fs.blocks import BLOCK_SIZE, INLINE_DATA_THRESHOLD, BlockKind
+from repro.fs.fslayer import DhtFileSystem, apply_ops
+from repro.fs.keyschemes import make_scheme
+from repro.fs.namespace import NamespaceError
+from repro.sim.engine import Simulator
+from repro.store.migration import StorageCoordinator
+
+
+@pytest.fixture
+def fs():
+    return DhtFileSystem(make_scheme("d2", "vol"))
+
+
+def puts(ops):
+    return [op for op in ops if op.action == "put"]
+
+
+def removes(ops):
+    return [op for op in ops if op.action == "remove"]
+
+
+def gets(ops):
+    return [op for op in ops if op.action == "get"]
+
+
+class TestFormat:
+    def test_format_writes_root_and_rootdir(self, fs):
+        ops = fs.format()
+        kinds = [op.kind for op in ops]
+        assert BlockKind.ROOT in kinds
+        assert BlockKind.DIRECTORY in kinds
+        assert all(op.action == "put" for op in ops)
+
+
+class TestCreate:
+    def test_create_emits_data_inode_metadata(self, fs):
+        fs.format()
+        fs.makedirs("/home")
+        ops = fs.create("/home/f.dat", size=3 * BLOCK_SIZE)
+        put_kinds = [op.kind for op in puts(ops)]
+        assert put_kinds.count(BlockKind.DATA) == 3
+        assert put_kinds.count(BlockKind.INODE) == 1
+        assert BlockKind.DIRECTORY in put_kinds
+        assert BlockKind.ROOT in put_kinds
+
+    def test_small_file_inlined(self, fs):
+        fs.format()
+        ops = fs.create("/tiny", size=INLINE_DATA_THRESHOLD)
+        put_kinds = [op.kind for op in puts(ops)]
+        assert BlockKind.DATA not in put_kinds
+        assert put_kinds.count(BlockKind.INODE) == 1
+
+    def test_metadata_path_reversioned_to_root(self, fs):
+        """Every create rewrites the full directory chain (Section 3)."""
+        fs.format()
+        fs.makedirs("/a/b/c")
+        ops = fs.create("/a/b/c/f", size=1000)
+        dir_puts = [op for op in puts(ops) if op.kind is BlockKind.DIRECTORY]
+        # Chain: /, /a, /a/b, /a/b/c.
+        assert len({op.ident for op in dir_puts}) == 4
+
+    def test_data_put_sizes_sum_to_file(self, fs):
+        fs.format()
+        size = 2 * BLOCK_SIZE + 123
+        ops = fs.create("/f", size=size)
+        data = [op for op in puts(ops) if op.kind is BlockKind.DATA]
+        assert sum(op.size for op in data) == size
+
+
+class TestWrite:
+    def test_write_touches_covered_blocks_only(self, fs):
+        fs.format()
+        fs.create("/f", size=4 * BLOCK_SIZE)
+        ops = fs.write("/f", offset=BLOCK_SIZE, length=10)
+        data_puts = [op for op in puts(ops) if op.kind is BlockKind.DATA]
+        assert len(data_puts) == 1
+
+    def test_write_bumps_version_and_removes_old(self, fs):
+        fs.format()
+        fs.create("/f", size=BLOCK_SIZE)
+        node = fs.namespace.resolve_file("/f")
+        v_before = node.version
+        ops = fs.write("/f", offset=0, length=10)
+        assert node.version == v_before + 1
+        removed_kinds = [op.kind for op in removes(ops)]
+        assert BlockKind.DATA in removed_kinds
+        assert BlockKind.INODE in removed_kinds
+
+    def test_append_extends_file(self, fs):
+        fs.format()
+        fs.create("/f", size=BLOCK_SIZE)
+        fs.write("/f", offset=BLOCK_SIZE, length=BLOCK_SIZE)
+        assert fs.namespace.resolve_file("/f").size == 2 * BLOCK_SIZE
+
+    def test_inline_to_blocks_transition(self, fs):
+        """Growing past the inline threshold materializes every block."""
+        fs.format()
+        fs.create("/f", size=100)
+        ops = fs.write("/f", offset=100, length=BLOCK_SIZE)
+        data_puts = [op for op in puts(ops) if op.kind is BlockKind.DATA]
+        assert len(data_puts) == 2  # new size 100+8192 spans two blocks
+
+    def test_zero_length_write_noop(self, fs):
+        fs.format()
+        fs.create("/f", size=100)
+        assert fs.write("/f", offset=0, length=0) == []
+
+    def test_unchanged_blocks_keep_old_version_on_read(self, fs):
+        fs.format()
+        fs.create("/f", size=3 * BLOCK_SIZE)
+        keys_before = fs.file_data_keys("/f")
+        fs.write("/f", offset=0, length=10)  # touches block 1 only
+        keys_after = fs.file_data_keys("/f")
+        assert keys_after[0] != keys_before[0]
+        assert keys_after[1:] == keys_before[1:]
+
+
+class TestRead:
+    def test_read_emits_metadata_then_data(self, fs):
+        fs.format()
+        fs.makedirs("/d")
+        fs.create("/d/f", size=2 * BLOCK_SIZE)
+        ops = fs.read("/d/f")
+        kinds = [op.kind for op in ops]
+        assert kinds[0] is BlockKind.ROOT
+        assert kinds.count(BlockKind.DATA) == 2
+        assert all(op.action == "get" for op in ops)
+
+    def test_partial_read(self, fs):
+        fs.format()
+        fs.create("/f", size=4 * BLOCK_SIZE)
+        ops = fs.read("/f", offset=0, length=10)
+        assert sum(1 for op in ops if op.kind is BlockKind.DATA) == 1
+
+    def test_inline_read_has_no_data_ops(self, fs):
+        fs.format()
+        fs.create("/tiny", size=100)
+        ops = fs.read("/tiny")
+        assert all(op.kind is not BlockKind.DATA for op in ops)
+
+    def test_read_missing_raises(self, fs):
+        fs.format()
+        with pytest.raises(NamespaceError):
+            fs.read("/ghost")
+
+    def test_read_fetches_live_versions(self, fs):
+        fs.format()
+        fs.create("/f", size=2 * BLOCK_SIZE)
+        fs.write("/f", offset=0, length=10)
+        ops = fs.read("/f")
+        data_keys = [op.key for op in ops if op.kind is BlockKind.DATA]
+        assert data_keys == fs.file_data_keys("/f")
+
+
+class TestRemove:
+    def test_remove_retires_all_blocks(self, fs):
+        fs.format()
+        fs.create("/f", size=2 * BLOCK_SIZE)
+        ops = fs.remove("/f")
+        removed = removes(ops)
+        kinds = [op.kind for op in removed]
+        assert kinds.count(BlockKind.DATA) == 2
+        assert kinds.count(BlockKind.INODE) == 1
+        assert not fs.namespace.exists("/f")
+
+    def test_remove_empty_directory(self, fs):
+        fs.format()
+        fs.mkdir("/d")
+        ops = fs.remove("/d")
+        assert any(op.kind is BlockKind.DIRECTORY for op in removes(ops))
+
+
+class TestRename:
+    def test_rename_emits_no_data_ops(self, fs):
+        """Renames rewrite only directory metadata (Section 4.2)."""
+        fs.format()
+        fs.makedirs("/a")
+        fs.makedirs("/b")
+        fs.create("/a/f", size=10 * BLOCK_SIZE)
+        ops = fs.rename("/a/f", "/b/g")
+        assert all(op.kind in (BlockKind.DIRECTORY, BlockKind.ROOT) for op in ops)
+
+    def test_rename_keeps_data_keys(self, fs):
+        fs.format()
+        fs.makedirs("/a")
+        fs.makedirs("/b")
+        fs.create("/a/f", size=2 * BLOCK_SIZE)
+        before = fs.file_data_keys("/a/f")
+        fs.rename("/a/f", "/b/g")
+        assert fs.file_data_keys("/b/g") == before
+
+
+class TestApplyOps:
+    def test_apply_to_store(self):
+        ring = Ring()
+        for i in range(4):
+            ring.join(f"n{i}", (i + 1) * 10**150)
+        store = StorageCoordinator(ring, Simulator())
+        fs = DhtFileSystem(make_scheme("d2", "vol"))
+        apply_ops(store, fs.format())
+        apply_ops(store, fs.create("/f", size=2 * BLOCK_SIZE))
+        assert len(store.directory) >= 4  # root + rootdir + inode + 2 data
+
+    def test_traditional_file_puts_coalesce(self):
+        ring = Ring()
+        for i in range(4):
+            ring.join(f"n{i}", (i + 1) * 10**150)
+        store = StorageCoordinator(ring, Simulator())
+        fs = DhtFileSystem(make_scheme("traditional-file", "vol"))
+        apply_ops(store, fs.format())
+        ops = fs.create("/f", size=3 * BLOCK_SIZE)
+        apply_ops(store, ops)
+        node = fs.namespace.resolve_file("/f")
+        file_key = fs.scheme.file_block_key(node, 1, node.version)
+        # All data blocks and the inode share the file key; the entry holds
+        # the combined size.
+        assert store.directory.size_of(file_key) > 3 * BLOCK_SIZE
+
+    def test_apply_counters(self, fs):
+        ring = Ring()
+        ring.join("solo", 123)
+        store = StorageCoordinator(ring, Simulator())
+        counters = apply_ops(store, fs.format())
+        assert counters["put"] > 0
+        assert counters["remove"] == 0
+
+
+class TestReaddirStat:
+    def test_readdir_fetches_dir_blocks(self, fs):
+        fs.format()
+        fs.makedirs("/a/b")
+        fs.create("/a/b/f", size=100)
+        ops = fs.readdir("/a/b")
+        assert all(op.action == "get" for op in ops)
+        kinds = [op.kind for op in ops]
+        assert kinds[0] is BlockKind.ROOT
+        assert kinds.count(BlockKind.DIRECTORY) >= 3  # /, /a, /a/b
+
+    def test_readdir_root(self, fs):
+        fs.format()
+        ops = fs.readdir("/")
+        assert any(op.kind is BlockKind.DIRECTORY for op in ops)
+
+    def test_readdir_of_file_rejected(self, fs):
+        fs.format()
+        fs.create("/f", size=10)
+        with pytest.raises(NamespaceError):
+            fs.readdir("/f")
+
+    def test_stat_file(self, fs):
+        fs.format()
+        fs.create("/f", size=2 * BLOCK_SIZE)
+        info = fs.stat("/f")
+        assert info["type"] == "file"
+        assert info["size"] == 2 * BLOCK_SIZE
+        assert info["blocks"] == 2
+        assert info["inline"] is False
+
+    def test_stat_inline_file(self, fs):
+        fs.format()
+        fs.create("/tiny", size=64)
+        assert fs.stat("/tiny")["inline"] is True
+
+    def test_stat_directory(self, fs):
+        fs.format()
+        fs.makedirs("/d")
+        fs.create("/d/f", size=10)
+        info = fs.stat("/d")
+        assert info["type"] == "directory"
+        assert info["entries"] == 1
+
+    def test_stat_missing_rejected(self, fs):
+        fs.format()
+        with pytest.raises(NamespaceError):
+            fs.stat("/ghost")

@@ -1,0 +1,112 @@
+"""Tests for the integrity chain (root signing covers all metadata)."""
+
+import pytest
+
+from repro.fs.blocks import BLOCK_SIZE
+from repro.fs.fslayer import DhtFileSystem
+from repro.fs.integrity import (
+    IntegrityError,
+    snapshot_volume,
+    verify_block,
+    verify_snapshot,
+)
+from repro.fs.keyschemes import make_scheme
+
+
+@pytest.fixture
+def fs():
+    fs = DhtFileSystem(make_scheme("d2", "vol"))
+    fs.format()
+    fs.makedirs("/home/alice")
+    fs.create("/home/alice/a.txt", size=2 * BLOCK_SIZE)
+    fs.create("/home/alice/b.txt", size=BLOCK_SIZE)
+    fs.makedirs("/srv")
+    return fs
+
+
+class TestSnapshot:
+    def test_snapshot_covers_tree(self, fs):
+        snapshot = snapshot_volume(fs, "alice")
+        assert "/home/alice/a.txt" in snapshot.files
+        assert "/home/alice" in snapshot.directories
+        assert "/" in snapshot.directories
+
+    def test_valid_snapshot_verifies(self, fs):
+        snapshot = snapshot_volume(fs, "alice")
+        assert verify_snapshot(snapshot, "alice")
+
+    def test_wrong_publisher_rejected(self, fs):
+        snapshot = snapshot_volume(fs, "alice")
+        with pytest.raises(IntegrityError, match="signature"):
+            verify_snapshot(snapshot, "mallory")
+
+    def test_snapshot_changes_with_content(self, fs):
+        before = snapshot_volume(fs, "alice")
+        fs.write("/home/alice/a.txt", offset=0, length=10)
+        after = snapshot_volume(fs, "alice")
+        assert before.root_hash != after.root_hash
+
+    def test_snapshot_stable_without_changes(self, fs):
+        assert (
+            snapshot_volume(fs, "alice").root_hash
+            == snapshot_volume(fs, "alice").root_hash
+        )
+
+
+class TestTamperDetection:
+    def test_tampered_file_detected(self, fs):
+        snapshot = snapshot_volume(fs, "alice")
+        manifest = snapshot.files["/home/alice/a.txt"]
+        snapshot.files["/home/alice/a.txt"] = type(manifest)(
+            name=manifest.name,
+            size=manifest.size + 1,  # attacker alters the file
+            version=manifest.version,
+            block_hashes=manifest.block_hashes,
+        )
+        with pytest.raises(IntegrityError, match="hash mismatch"):
+            verify_snapshot(snapshot, "alice")
+
+    def test_swapped_subtree_detected(self, fs):
+        snapshot = snapshot_volume(fs, "alice")
+        home = snapshot.directories["/home"]
+        kind, _ = home.entries["alice"]
+        home.entries["alice"] = (kind, "0" * 64)
+        with pytest.raises(IntegrityError, match="hash mismatch"):
+            verify_snapshot(snapshot, "alice")
+
+    def test_missing_manifest_detected(self, fs):
+        snapshot = snapshot_volume(fs, "alice")
+        del snapshot.files["/home/alice/b.txt"]
+        with pytest.raises(IntegrityError, match="missing file manifest"):
+            verify_snapshot(snapshot, "alice")
+
+    def test_forged_root_version_detected(self, fs):
+        snapshot = snapshot_volume(fs, "alice")
+        snapshot.root_version += 1  # replay/rollback attempt
+        with pytest.raises(IntegrityError, match="signature"):
+            verify_snapshot(snapshot, "alice")
+
+
+class TestBlockVerification:
+    def test_correct_block_verifies(self, fs):
+        snapshot = snapshot_volume(fs, "alice")
+        node = fs.namespace.resolve_file("/home/alice/a.txt")
+        version = node.block_versions.get(1, node.version)
+        assert verify_block(snapshot, "/home/alice/a.txt", 1, version)
+
+    def test_stale_version_rejected(self, fs):
+        fs.write("/home/alice/a.txt", offset=0, length=10)  # bumps block 1
+        snapshot = snapshot_volume(fs, "alice")
+        node = fs.namespace.resolve_file("/home/alice/a.txt")
+        stale = node.block_versions[1] - 1
+        assert not verify_block(snapshot, "/home/alice/a.txt", 1, stale)
+
+    def test_unknown_path_rejected(self, fs):
+        snapshot = snapshot_volume(fs, "alice")
+        with pytest.raises(IntegrityError):
+            verify_block(snapshot, "/ghost", 1, 1)
+
+    def test_out_of_range_block_rejected(self, fs):
+        snapshot = snapshot_volume(fs, "alice")
+        with pytest.raises(IntegrityError):
+            verify_block(snapshot, "/home/alice/a.txt", 99, 1)

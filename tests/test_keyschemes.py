@@ -1,0 +1,116 @@
+"""Tests for the three key-assignment schemes."""
+
+import pytest
+
+from repro.dht.keyspace import KEY_SPACE
+from repro.fs.keyschemes import (
+    D2KeyScheme,
+    TraditionalFileKeyScheme,
+    TraditionalKeyScheme,
+    make_scheme,
+    storage_identity,
+)
+from repro.fs.namespace import Namespace
+
+
+def sample_namespace():
+    ns = Namespace()
+    ns.makedirs("/home/alice/src")
+    files = [
+        ns.create_file("/home/alice/src/a.c", size=30000),
+        ns.create_file("/home/alice/src/b.c", size=30000),
+    ]
+    ns.makedirs("/home/bob")
+    other = ns.create_file("/home/bob/z.txt", size=30000)
+    return ns, files, other
+
+
+class TestFactory:
+    def test_known_systems(self):
+        assert isinstance(make_scheme("d2", "v"), D2KeyScheme)
+        assert isinstance(make_scheme("traditional", "v"), TraditionalKeyScheme)
+        assert isinstance(make_scheme("traditional-file", "v"), TraditionalFileKeyScheme)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheme("chord", "v")
+
+
+class TestD2Scheme:
+    def test_file_blocks_contiguous(self):
+        ns, (a, b), _ = sample_namespace()
+        scheme = D2KeyScheme("vol")
+        keys = [scheme.file_block_key(a, n, 1) for n in range(5)]
+        assert keys == sorted(keys)
+
+    def test_sibling_files_adjacent(self):
+        """Blocks of files in one directory cluster; other dirs sort away."""
+        ns, (a, b), other = sample_namespace()
+        scheme = D2KeyScheme("vol")
+        a_keys = [scheme.file_block_key(a, n, 1) for n in range(4)]
+        b_keys = [scheme.file_block_key(b, n, 1) for n in range(4)]
+        o_key = scheme.file_block_key(other, 0, 1)
+        lo, hi = min(a_keys + b_keys), max(a_keys + b_keys)
+        assert not (lo <= o_key <= hi)
+
+    def test_directory_key_precedes_children(self):
+        ns, (a, _), _ = sample_namespace()
+        scheme = D2KeyScheme("vol")
+        src = ns.resolve_dir("/home/alice/src")
+        assert scheme.directory_block_key(src, 0, 1) < scheme.file_block_key(a, 0, 1)
+
+    def test_root_key_lowest_in_volume(self):
+        ns, (a, _), _ = sample_namespace()
+        scheme = D2KeyScheme("vol")
+        assert scheme.root_key() < scheme.file_block_key(a, 0, 1)
+
+    def test_rename_does_not_change_keys(self):
+        ns, (a, _), _ = sample_namespace()
+        scheme = D2KeyScheme("vol")
+        before = scheme.file_block_key(a, 1, 1)
+        ns.rename("/home/alice/src/a.c", "/home/bob/moved.c")
+        assert scheme.file_block_key(a, 1, 1) == before
+
+
+class TestTraditionalScheme:
+    def test_blocks_scatter(self):
+        """Adjacent blocks of one file land far apart (uniform hashing)."""
+        ns, (a, _), _ = sample_namespace()
+        scheme = TraditionalKeyScheme("vol")
+        keys = [scheme.file_block_key(a, n, 1) for n in range(8)]
+        assert keys != sorted(keys)  # astronomically unlikely if uniform
+        assert len(set(keys)) == 8
+
+    def test_versions_change_keys(self):
+        ns, (a, _), _ = sample_namespace()
+        scheme = TraditionalKeyScheme("vol")
+        assert scheme.file_block_key(a, 1, 1) != scheme.file_block_key(a, 1, 2)
+
+    def test_rename_stable(self):
+        """Hashed keys mimic content hashes: renames keep keys."""
+        ns, (a, _), _ = sample_namespace()
+        scheme = TraditionalKeyScheme("vol")
+        before = scheme.file_block_key(a, 1, 1)
+        ns.rename("/home/alice/src/a.c", "/home/bob/moved.c")
+        assert scheme.file_block_key(a, 1, 1) == before
+
+
+class TestTraditionalFileScheme:
+    def test_all_blocks_share_key(self):
+        ns, (a, _), _ = sample_namespace()
+        scheme = TraditionalFileKeyScheme("vol")
+        keys = {scheme.file_block_key(a, n, v) for n in range(8) for v in range(3)}
+        assert len(keys) == 1
+
+    def test_distinct_files_differ(self):
+        ns, (a, b), _ = sample_namespace()
+        scheme = TraditionalFileKeyScheme("vol")
+        assert scheme.file_block_key(a, 0, 1) != scheme.file_block_key(b, 0, 1)
+
+
+class TestStorageIdentity:
+    def test_distinct_paths_differ(self):
+        assert storage_identity((1, 2), ()) != storage_identity((1, 3), ())
+
+    def test_overflow_included(self):
+        assert storage_identity((1,), ("x",)) != storage_identity((1,), ("y",))

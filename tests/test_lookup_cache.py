@@ -1,0 +1,123 @@
+"""Tests for the range-based lookup cache."""
+
+import pytest
+
+from repro.core.lookup_cache import LookupCache
+from repro.dht.keyspace import MAX_KEY
+
+
+class TestProbeInsert:
+    def test_empty_cache_misses(self):
+        cache = LookupCache(ttl=100.0)
+        assert cache.probe(50, now=0.0) is None
+        assert cache.stats.misses == 1
+
+    def test_hit_within_range(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 20, "n1", now=0.0)
+        assert cache.probe(15, now=1.0) == "n1"
+        assert cache.probe(20, now=1.0) == "n1"  # hi inclusive
+        assert cache.stats.hits == 2
+
+    def test_lo_exclusive(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 20, "n1", now=0.0)
+        assert cache.probe(10, now=1.0) is None
+
+    def test_miss_outside_range(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 20, "n1", now=0.0)
+        assert cache.probe(25, now=1.0) is None
+
+    def test_multiple_ranges(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 20, "n1", now=0.0)
+        cache.insert(30, 40, "n2", now=0.0)
+        assert cache.probe(35, now=1.0) == "n2"
+        assert cache.probe(15, now=1.0) == "n1"
+
+    def test_wrapping_range(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(MAX_KEY - 10, 5, "wrap", now=0.0)
+        assert cache.probe(MAX_KEY, now=1.0) == "wrap"
+        assert cache.probe(3, now=1.0) == "wrap"
+        assert cache.probe(50, now=1.0) is None
+
+    def test_same_range_end_replaced(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 20, "old", now=0.0)
+        cache.insert(12, 20, "new", now=1.0)
+        assert cache.probe(15, now=2.0) == "new"
+        assert len(cache) == 1
+
+
+class TestTTL:
+    def test_expired_entry_misses(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 20, "n1", now=0.0)
+        assert cache.probe(15, now=101.0) is None
+
+    def test_entry_valid_just_before_ttl(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 20, "n1", now=0.0)
+        assert cache.probe(15, now=99.9) == "n1"
+
+    def test_expired_entries_evicted_on_insert(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 20, "n1", now=0.0)
+        cache.insert(30, 40, "n2", now=200.0)
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+
+
+class TestInvalidate:
+    def test_invalidate_drops_entry(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 20, "n1", now=0.0)
+        cache.invalidate(15)
+        assert cache.probe(15, now=1.0) is None
+        assert cache.stats.stale_hits == 1
+
+    def test_invalidate_missing_noop(self):
+        cache = LookupCache(ttl=100.0)
+        cache.invalidate(15)
+        assert cache.stats.stale_hits == 0
+
+
+class TestStats:
+    def test_miss_rate(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 20, "n1", now=0.0)
+        cache.probe(15, now=1.0)
+        cache.probe(50, now=1.0)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.lookups == 2
+
+    def test_empty_stats(self):
+        cache = LookupCache()
+        assert cache.stats.miss_rate == 0.0
+        assert cache.stats.hit_rate == 0.0
+
+
+class TestLocalityAdvantage:
+    def test_clustered_keys_hit_after_one_lookup(self):
+        """The D2 effect: one cached range serves a whole directory."""
+        cache = LookupCache(ttl=1e9)
+        cache.insert(1000, 2000, "server", now=0.0)
+        hits = sum(1 for key in range(1001, 1101) if cache.probe(key, 0.0))
+        assert hits == 100
+
+    def test_scattered_keys_keep_missing(self):
+        """The traditional effect: hashed keys rarely reuse a range."""
+        import random
+
+        from repro.dht.keyspace import KEY_SPACE
+
+        rng = random.Random(1)
+        cache = LookupCache(ttl=1e9)
+        width = KEY_SPACE // 1000  # 1000-node ring, one range cached
+        cache.insert(0, width, "server", now=0.0)
+        probes = [rng.randrange(KEY_SPACE) for _ in range(200)]
+        hits = sum(1 for key in probes if cache.probe(key, 0.0) is not None)
+        assert hits <= 3

@@ -1,0 +1,270 @@
+"""Tests for the storage coordinator: writes, removal, moves, pointers."""
+
+import pytest
+
+from repro.dht.keyspace import KEY_SPACE
+from repro.dht.ring import Ring
+from repro.sim.engine import Simulator
+from repro.store.migration import SECONDS_PER_DAY, StorageCoordinator, TrafficLedger
+
+
+def make_system(positions=(100, 200, 300, 400), **kwargs):
+    ring = Ring()
+    for i, pos in enumerate(positions):
+        ring.join(f"n{i}", pos * (KEY_SPACE // 1000))
+    sim = Simulator()
+    return ring, sim, StorageCoordinator(ring, sim, **kwargs)
+
+
+def key_at(thousandth):
+    return thousandth * (KEY_SPACE // 1000)
+
+
+class TestWritePath:
+    def test_write_places_on_owner(self):
+        ring, sim, store = make_system()
+        key = key_at(150)
+        store.write(key, 8192)
+        assert store.physical_holder(key) == ring.successor(key) == "n1"
+        assert store.ledger.total_written == 8192
+
+    def test_overwrite_accounts_at_least_size(self):
+        ring, sim, store = make_system()
+        key = key_at(150)
+        store.write(key, 8192)
+        store.write(key, 8192)
+        assert store.ledger.total_written == 16384
+
+    def test_holders_are_replica_group(self):
+        ring, sim, store = make_system()
+        key = key_at(150)
+        store.write(key, 10)
+        assert store.holders(key) == ["n1", "n2", "n3"]
+
+
+class TestRemoval:
+    def test_removal_delayed(self):
+        ring, sim, store = make_system(removal_delay=30.0)
+        key = key_at(150)
+        store.write(key, 100)
+        store.remove(key)
+        assert key in store.directory  # grace period
+        sim.run(until=31.0)
+        assert key not in store.directory
+        assert store.ledger.total_removed == 100
+
+    def test_immediate_removal(self):
+        ring, sim, store = make_system()
+        key = key_at(150)
+        store.write(key, 100)
+        store.remove(key, delay=0)
+        assert key not in store.directory
+
+    def test_double_removal_harmless(self):
+        ring, sim, store = make_system()
+        key = key_at(150)
+        store.write(key, 100)
+        store.remove(key, delay=0)
+        store.remove(key, delay=0)
+        assert store.ledger.total_removed == 100
+
+
+class TestBalanceCoordinatorProtocol:
+    def test_primary_load_counts_arc(self):
+        ring, sim, store = make_system()
+        store.write(key_at(150), 1)
+        store.write(key_at(160), 1)
+        store.write(key_at(250), 1)
+        assert store.primary_load("n1") == 2
+        assert store.primary_load("n2") == 1
+        assert store.primary_load("n0") == 0
+
+    def test_primary_keys_sorted_in_arc(self):
+        ring, sim, store = make_system()
+        keys = [key_at(t) for t in (150, 160, 170)]
+        for key in keys:
+            store.write(key, 1)
+        assert list(store.primary_keys("n1")) == keys
+
+
+class TestMoves:
+    def test_move_with_pointers_defers_migration(self):
+        ring, sim, store = make_system(pointer_stabilization_time=3600.0)
+        keys = [key_at(t) for t in (150, 155, 160, 165)]
+        for key in keys:
+            store.write(key, 1000)
+        # n0 moves to split n1's load.
+        split = keys[1]
+        store.execute_move("n0", split)
+        assert ring.successor(keys[0]) == "n0"
+        # Data has NOT moved yet: still physically on n1.
+        assert store.physical_holder(keys[0]) == "n1"
+        assert store.ledger.total_migrated == 0
+        assert store.pointer_block_count() == 2
+        # After stabilization the bytes move exactly once.
+        sim.run(until=3601.0)
+        assert store.physical_holder(keys[0]) == "n0"
+        assert store.ledger.total_migrated == 2000
+        assert store.pointer_block_count() == 0
+
+    def test_move_without_pointers_migrates_immediately(self):
+        ring, sim, store = make_system(use_pointers=False)
+        keys = [key_at(t) for t in (150, 155, 160, 165)]
+        for key in keys:
+            store.write(key, 1000)
+        store.execute_move("n0", keys[1])
+        assert store.ledger.total_migrated == 2000
+        assert store.physical_holder(keys[0]) == "n0"
+
+    def test_pointer_chain_moves_bytes_once(self):
+        """B takes from A, D takes from B before stabilizing: bytes move
+        directly from A to D, once (the Figure 6 scenario)."""
+        ring, sim, store = make_system(
+            positions=(100, 200, 300, 400, 500), pointer_stabilization_time=3600.0
+        )
+        keys = [key_at(t) for t in (150, 155, 160, 165)]
+        for key in keys:
+            store.write(key, 1000)  # all on n1 (A)
+        store.execute_move("n0", keys[1])   # B adopts first half
+        store.execute_move("n4", keys[0])   # D adopts B's first key
+        sim.run(until=7200.0)
+        # Two keys changed owner (150 -> n4, 155 -> n0); each moved exactly
+        # once, directly from A, even though responsibility moved twice.
+        assert store.ledger.total_migrated == 2000
+        assert store.physical_holder(keys[0]) == "n4"
+        assert store.physical_holder(keys[1]) == "n0"
+        assert store.physical_holder(keys[2]) == "n1"
+
+    def test_writes_after_adoption_cost_nothing(self):
+        ring, sim, store = make_system(pointer_stabilization_time=3600.0)
+        first = key_at(150)
+        store.write(first, 1000)
+        second = key_at(152)
+        store.write(second, 1000)
+        store.execute_move("n0", key_at(155))
+        # A write into the adopted range goes straight to the new owner.
+        third = key_at(151)
+        store.write(third, 1000)
+        assert store.physical_holder(third) == "n0"
+        sim.run(until=3601.0)
+        # Only the two pre-move blocks migrated.
+        assert store.ledger.total_migrated == 2000
+
+    def test_vacated_range_handed_to_successor(self):
+        ring, sim, store = make_system(pointer_stabilization_time=10.0)
+        mine = key_at(50)
+        store.write(mine, 777)  # owned by n0 (wrapping arc)
+        # Moving forward past n1 hands n0's old arc to n1.
+        store.execute_move("n0", key_at(250))
+        assert ring.successor(mine) == "n1"
+        sim.run(until=11.0)
+        assert store.physical_holder(mine) == "n1"
+        assert store.ledger.total_migrated == 777
+
+    def test_flush_all_pointers(self):
+        ring, sim, store = make_system(pointer_stabilization_time=1e9)
+        for t in (150, 155, 160, 165):
+            store.write(key_at(t), 10)
+        store.execute_move("n0", key_at(155))
+        store.flush_all_pointers()
+        assert store.pointer_block_count() == 0
+
+
+class TestReporting:
+    def test_primary_loads_sum_to_directory(self):
+        ring, sim, store = make_system()
+        for t in (50, 150, 250, 350, 450):
+            store.write(key_at(t), 1)
+        assert sum(store.primary_loads().values()) == len(store.directory)
+
+    def test_total_loads_replicate(self):
+        ring, sim, store = make_system(replica_count=3)
+        store.write(key_at(150), 1)
+        totals = store.total_loads()
+        assert sum(totals.values()) == 3  # one block on three nodes
+
+    def test_total_bytes_per_node(self):
+        ring, sim, store = make_system(replica_count=2)
+        store.write(key_at(150), 500)
+        volumes = store.total_bytes_per_node()
+        assert sum(volumes.values()) == 1000
+        assert volumes["n1"] == 500 and volumes["n2"] == 500
+
+
+class TestLedger:
+    def test_daily_buckets(self):
+        ledger = TrafficLedger()
+        ledger.record_write(0.0, 100)
+        ledger.record_write(SECONDS_PER_DAY + 5, 200)
+        ledger.record_migration(SECONDS_PER_DAY + 10, 50)
+        series = ledger.daily_series(2)
+        assert series[0] == {"day": 1, "written": 100, "removed": 0, "migrated": 0}
+        assert series[1] == {"day": 2, "written": 200, "removed": 0, "migrated": 50}
+
+    def test_totals(self):
+        ledger = TrafficLedger()
+        ledger.record_write(0.0, 100)
+        ledger.record_remove(1.0, 40)
+        ledger.record_migration(2.0, 70)
+        assert (ledger.total_written, ledger.total_removed, ledger.total_migrated) == (100, 40, 70)
+
+
+class TestTtlExpiry:
+    """Section 3: blocks auto-expire after a refreshable TTL."""
+
+    def test_block_expires_after_ttl(self):
+        ring, sim, store = make_system()
+        key = key_at(150)
+        store.write(key, 100, ttl=60.0)
+        sim.run(until=59.0)
+        assert key in store.directory
+        sim.run(until=61.0)
+        assert key not in store.directory
+        assert store.ledger.total_removed == 100
+
+    def test_refresh_extends_life(self):
+        ring, sim, store = make_system()
+        key = key_at(150)
+        store.write(key, 100, ttl=60.0)
+        sim.run(until=50.0)
+        assert store.refresh(key, 60.0)
+        sim.run(until=100.0)
+        assert key in store.directory
+        sim.run(until=111.0)
+        assert key not in store.directory
+
+    def test_rewrite_refreshes(self):
+        ring, sim, store = make_system()
+        key = key_at(150)
+        store.write(key, 100, ttl=60.0)
+        sim.run(until=50.0)
+        store.write(key, 100, ttl=60.0)
+        sim.run(until=100.0)
+        assert key in store.directory
+
+    def test_rewrite_without_ttl_clears_expiry(self):
+        ring, sim, store = make_system()
+        key = key_at(150)
+        store.write(key, 100, ttl=60.0)
+        store.write(key, 100)
+        sim.run(until=1000.0)
+        assert key in store.directory
+        assert store.expiry_of(key) is None
+
+    def test_refresh_of_missing_block_fails(self):
+        ring, sim, store = make_system()
+        assert not store.refresh(key_at(150), 60.0)
+
+    def test_nonpositive_ttl_rejected(self):
+        ring, sim, store = make_system()
+        with pytest.raises(ValueError):
+            store.write(key_at(150), 100, ttl=0.0)
+
+    def test_explicit_remove_beats_ttl(self):
+        ring, sim, store = make_system()
+        key = key_at(150)
+        store.write(key, 100, ttl=1000.0)
+        store.remove(key, delay=0)
+        sim.run(until=2000.0)
+        assert key not in store.directory
+        assert store.ledger.total_removed == 100  # not double-counted

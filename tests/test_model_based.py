@@ -1,0 +1,175 @@
+"""Model-based (stateful) tests: caches vs brute-force reference models."""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.lookup_cache import LookupCache
+from repro.dht.keyspace import in_interval
+from repro.fs.blocks import BlockKind
+from repro.fs.fslayer import BlockOp
+from repro.fs.writeback_cache import WritebackCache
+
+SMALL_KEYS = st.integers(min_value=0, max_value=999)
+
+
+class LookupCacheMachine(RuleBasedStateMachine):
+    """The cache must agree with a naive list-of-ranges model.
+
+    Model: the most recently inserted unexpired range covering a key wins;
+    the cache may conservatively miss (e.g. overlapping ranges hide one
+    another) but must never return a node the model does not list for the
+    key — a wrong *positive* would send clients to arbitrary nodes far
+    more often than churn explains.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.cache = LookupCache(ttl=100.0)
+        self.model = []  # list of (lo, hi, node, expires_at), newest last
+        self.now = 0.0
+
+    @rule(lo=SMALL_KEYS, hi=SMALL_KEYS, node=st.sampled_from("abcdef"))
+    def insert(self, lo, hi, node):
+        self.cache.insert(lo, hi, node, self.now)
+        self.model.append((lo, hi, node, self.now + 100.0))
+
+    @rule(delta=st.floats(min_value=0.0, max_value=60.0))
+    def advance(self, delta):
+        self.now += delta
+
+    @rule(key=SMALL_KEYS)
+    def probe(self, key):
+        got = self.cache.probe(key, self.now)
+        if got is not None:
+            candidates = {
+                node
+                for lo, hi, node, expires in self.model
+                if expires > self.now and (lo == hi or in_interval(key, lo, hi))
+            }
+            assert got in candidates, (
+                f"cache returned {got!r} for key {key}, model allows {candidates}"
+            )
+
+    @invariant()
+    def stats_consistent(self):
+        stats = self.cache.stats
+        assert stats.hits + stats.misses == stats.lookups
+        assert 0.0 <= stats.miss_rate <= 1.0
+
+
+TestLookupCacheModel = LookupCacheMachine.TestCase
+TestLookupCacheModel.settings = settings(max_examples=40, deadline=None)
+
+
+class WritebackCacheMachine(RuleBasedStateMachine):
+    """The write-back cache must flush exactly the newest version of every
+    dirty identity, exactly once, and never resurrect removed identities."""
+
+    idents = [f"f{i}" for i in range(5)]
+
+    def __init__(self):
+        super().__init__()
+        self.cache = WritebackCache(flush_delay=30.0)
+        self.now = 0.0
+        self.version = 0
+        # Model state: ident -> newest unflushed key, or REMOVED sentinel.
+        self.pending = {}
+        self.flushed_keys = []
+
+    def _op(self, action, ident, key):
+        return BlockOp(action, key, 100, BlockKind.DATA, ident, self.version)
+
+    @rule(ident=st.sampled_from(idents))
+    def write(self, ident):
+        self.version += 1
+        key = self.version  # unique key per version
+        ops = [self._op("put", ident, key)]
+        self.cache.write(ops, self.now)
+        self.pending[ident] = key
+
+    @rule(ident=st.sampled_from(idents))
+    def remove(self, ident):
+        if self.pending.get(ident) is None:
+            return
+        key = self.pending[ident]
+        self.cache.write([self._op("remove", ident, key)], self.now)
+        self.pending[ident] = None  # removed while dirty: must never flush
+
+    @rule(delta=st.floats(min_value=0.1, max_value=40.0))
+    def advance_and_flush(self, delta):
+        self.now += delta
+        for op in self.cache.flush_due(self.now):
+            if op.action == "put":
+                self.flushed_keys.append((op.ident, op.key))
+                assert self.pending.get(op.ident) == op.key, (
+                    f"flushed {op.key} but model expected "
+                    f"{self.pending.get(op.ident)}"
+                )
+                self.pending[op.ident] = "FLUSHED"
+
+    @rule()
+    def final_flush(self):
+        for op in self.cache.flush_all():
+            if op.action == "put":
+                self.flushed_keys.append((op.ident, op.key))
+                assert self.pending.get(op.ident) == op.key
+                self.pending[op.ident] = "FLUSHED"
+
+    @invariant()
+    def no_duplicate_flushes(self):
+        assert len(self.flushed_keys) == len(set(self.flushed_keys))
+
+    @invariant()
+    def removed_never_flushed(self):
+        flushed_idents_keys = set(self.flushed_keys)
+        for ident, state in self.pending.items():
+            if state is None:  # removed while dirty
+                # None of this ident's unflushed versions may appear.
+                assert all(i != ident or (i, k) in flushed_idents_keys
+                           for i, k in flushed_idents_keys)
+
+
+TestWritebackCacheModel = WritebackCacheMachine.TestCase
+TestWritebackCacheModel.settings = settings(max_examples=40, deadline=None)
+
+
+class RingDirectoryMachine(RuleBasedStateMachine):
+    """Block directory range queries must match a brute-force set under
+    interleaved adds, removes, and queries."""
+
+    def __init__(self):
+        super().__init__()
+        from repro.store.block_store import BlockDirectory
+
+        self.directory = BlockDirectory()
+        self.model = {}
+
+    @rule(key=SMALL_KEYS, size=st.integers(min_value=0, max_value=8192))
+    def put(self, key, size):
+        self.directory.put(key, size)
+        self.model[key] = size
+
+    @rule(key=SMALL_KEYS)
+    def discard(self, key):
+        self.directory.discard(key)
+        self.model.pop(key, None)
+
+    @rule(lo=SMALL_KEYS, hi=SMALL_KEYS)
+    def range_query(self, lo, hi):
+        got = sorted(self.directory.keys_in_range(lo, hi))
+        expected = sorted(
+            k for k in self.model if lo == hi or in_interval(k, lo, hi)
+        )
+        assert got == expected
+
+    @invariant()
+    def totals_match(self):
+        assert len(self.directory) == len(self.model)
+        assert self.directory.total_bytes == sum(self.model.values())
+
+
+TestRingDirectoryModel = RingDirectoryMachine.TestCase
+TestRingDirectoryModel.settings = settings(max_examples=40, deadline=None)

@@ -1,0 +1,116 @@
+"""Tests for the latency model and access links."""
+
+import random
+
+import pytest
+
+from repro.sim.network import AccessLinks, LatencyModel
+
+
+class TestLatencyModel:
+    def make(self, n=50, seed=0, mean_rtt=0.090):
+        rng = random.Random(seed)
+        names = [f"n{i}" for i in range(n)]
+        return LatencyModel.random(names, rng, mean_rtt=mean_rtt)
+
+    def test_self_rtt_zero(self):
+        model = self.make()
+        assert model.rtt("n0", "n0") == 0.0
+
+    def test_symmetric(self):
+        model = self.make()
+        assert model.rtt("n1", "n2") == pytest.approx(model.rtt("n2", "n1"))
+
+    def test_positive_floor(self):
+        model = self.make()
+        for i in range(1, 10):
+            assert model.rtt("n0", f"n{i}") >= 0.005
+
+    def test_mean_rtt_calibrated(self):
+        model = self.make(n=200)
+        sample = model.mean_rtt_sample(random.Random(1), samples=4000)
+        assert 0.070 <= sample <= 0.110  # within ~20% of the 90 ms target
+
+    def test_one_way_is_half(self):
+        model = self.make()
+        assert model.one_way("n1", "n2") == pytest.approx(model.rtt("n1", "n2") / 2)
+
+    def test_path_latency_sums_legs(self):
+        model = self.make()
+        path = ["n0", "n1", "n2"]
+        expected = model.one_way("n0", "n1") + model.one_way("n1", "n2")
+        assert model.path_latency(path) == pytest.approx(expected)
+
+    def test_path_latency_single_node_zero(self):
+        model = self.make()
+        assert model.path_latency(["n0"]) == 0.0
+
+    def test_triangle_inequality(self):
+        """Euclidean embedding: no latency shortcuts through a relay."""
+        model = self.make(n=30)
+        for a, b, c in (("n1", "n2", "n3"), ("n4", "n9", "n17")):
+            direct = model.rtt(a, c)
+            relayed = model.rtt(a, b) + model.rtt(b, c)
+            assert direct <= relayed + model._base  # base offset tolerance
+
+    def test_add_node(self):
+        model = self.make(n=3)
+        model.add_node("extra", random.Random(9))
+        assert model.rtt("n0", "extra") > 0
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel.random([], random.Random(0))
+
+
+class TestAccessLinks:
+    def test_upload_serializes(self):
+        links = AccessLinks(rate_bytes_per_sec=1000.0)
+        assert links.reserve_upload("n0", 0.0, 1000) == pytest.approx(1.0)
+        assert links.reserve_upload("n0", 0.0, 1000) == pytest.approx(2.0)
+
+    def test_links_independent(self):
+        links = AccessLinks(rate_bytes_per_sec=1000.0)
+        links.reserve_upload("n0", 0.0, 5000)
+        assert links.reserve_upload("n1", 0.0, 1000) == pytest.approx(1.0)
+
+    def test_bytes_uploaded(self):
+        links = AccessLinks(rate_bytes_per_sec=1000.0)
+        links.reserve_upload("n0", 0.0, 300)
+        assert links.bytes_uploaded("n0") == 300
+        assert links.bytes_uploaded("never-used") == 0
+
+    def test_backlog(self):
+        links = AccessLinks(rate_bytes_per_sec=1000.0)
+        links.reserve_upload("n0", 0.0, 2000)
+        assert links.backlog("n0", 1.0) == pytest.approx(1.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            AccessLinks(0.0)
+
+
+class TestMatrixModel:
+    def test_lookup_and_symmetrization(self):
+        model = LatencyModel.from_matrix(
+            {("a", "b"): 0.100, ("b", "a"): 0.200, ("b", "c"): 0.050}
+        )
+        assert model.rtt("a", "b") == pytest.approx(0.150)
+        assert model.rtt("b", "a") == pytest.approx(0.150)
+        assert model.rtt("c", "b") == pytest.approx(0.050)
+
+    def test_missing_pair_uses_mean(self):
+        model = LatencyModel.from_matrix({("a", "b"): 0.1, ("b", "c"): 0.3})
+        assert model.rtt("a", "c") == pytest.approx(0.2)
+
+    def test_self_rtt_zero(self):
+        model = LatencyModel.from_matrix({("a", "b"): 0.1})
+        assert model.rtt("a", "a") == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel.from_matrix({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel.from_matrix({("a", "b"): -0.1})

@@ -1,0 +1,125 @@
+"""Unit tests for PerformanceHarness internals (fetch latency composition)."""
+
+import random
+
+import pytest
+
+from repro.analysis.performance import PerformanceHarness, _group_completion
+from repro.core.config import D2Config
+from repro.core.system import build_deployment
+from repro.fs.blocks import BLOCK_SIZE
+from repro.sim.network import LatencyModel
+
+
+@pytest.fixture
+def harness():
+    deployment = build_deployment("d2", 16, seed=9)
+    deployment.bootstrap_volume()
+    deployment.apply_fs_ops(deployment.fs.create("/f.dat", size=4 * BLOCK_SIZE))
+    latency = LatencyModel.random(deployment.node_names, random.Random(9))
+    return deployment, PerformanceHarness(
+        deployment,
+        latency,
+        bandwidth_bps=187_500.0,
+        rng=random.Random(9),
+    )
+
+
+class TestFetchLatency:
+    def test_buffer_cache_absorbs_repeat(self, harness):
+        deployment, h = harness
+        key, size = deployment.read_fetches("/f.dat")[1]
+        first = h.fetch_latency("alice", key, size, "ident1", now=0.0)
+        second = h.fetch_latency("alice", key, size, "ident1", now=1.0)
+        assert first > 0.0
+        assert second == 0.0
+
+    def test_buffer_cache_expires(self, harness):
+        deployment, h = harness
+        key, size = deployment.read_fetches("/f.dat")[1]
+        h.fetch_latency("alice", key, size, "ident1", now=0.0)
+        third = h.fetch_latency("alice", key, size, "ident1", now=100.0)
+        assert third > 0.0
+
+    def test_first_fetch_pays_lookup(self, harness):
+        deployment, h = harness
+        key, size = deployment.read_fetches("/f.dat")[1]
+        h.fetch_latency("alice", key, size, "i1", now=0.0)
+        assert h.lookup_messages > 0
+        assert h.lookups == 1
+
+    def test_cached_range_skips_lookup(self, harness):
+        deployment, h = harness
+        fetches = deployment.read_fetches("/f.dat")
+        h.fetch_latency("alice", fetches[1][0], fetches[1][1], "i1", now=0.0)
+        messages_after_first = h.lookup_messages
+        # Adjacent block: same owner range, so no routed lookup.
+        h.fetch_latency("alice", fetches[2][0], fetches[2][1], "i2", now=0.0)
+        assert h.lookup_messages == messages_after_first
+
+    def test_stale_entry_falls_back_to_lookup(self, harness):
+        deployment, h = harness
+        key, size = deployment.read_fetches("/f.dat")[1]
+        client = h.client_for("alice")
+        owner = deployment.ring.successor(key)
+        lo, hi = deployment.ring.range_of(owner)
+        # Poison the cache: the range claims a node that no longer owns it.
+        wrong = next(n for n in deployment.node_names if n != owner)
+        client.lookup_cache.insert(lo, hi, wrong, now=0.0)
+        latency_stale = h.fetch_latency("alice", key, size, "i1", now=0.0)
+        # Correctness: the stale entry was detected, invalidated, and a
+        # real routed lookup happened; the corrected range is now cached.
+        assert client.lookup_cache.stats.stale_hits == 1
+        assert h.lookup_messages > 0
+        assert client.lookup_cache.probe(key, now=0.1) == owner
+        assert latency_stale > 0.0
+
+    def test_server_contention_serializes(self, harness):
+        deployment, h = harness
+        key, size = deployment.read_fetches("/f.dat")[1]
+        # Thirty users request the same block at the same instant: the
+        # three replica uplinks must queue, so later arrivals wait for a
+        # backlog many transfer-times deep.
+        latencies = [
+            h.fetch_latency(f"u{i}", key, size, f"i{i}", now=0.0)
+            for i in range(30)
+        ]
+        transfer_time = size / h.bandwidth
+        assert max(latencies) > min(latencies) + 3 * transfer_time
+
+    def test_warm_connection_faster(self, harness):
+        deployment, h = harness
+        key, size = deployment.read_fetches("/f.dat")[1]
+        cold = h.fetch_latency("alice", key, size, "i1", now=0.0)
+        # Immediately fetch another block from the same replica group.
+        key2, size2 = deployment.read_fetches("/f.dat")[2]
+        warm = h.fetch_latency("alice", key2, size2, "i2", now=cold + 0.01)
+        assert warm <= cold
+
+
+class TestWarmAccess:
+    def test_warm_populates_caches_without_messages(self, harness):
+        deployment, h = harness
+        key, size = deployment.read_fetches("/f.dat")[1]
+        h.warm_access("alice", key, "i1", now=0.0)
+        assert h.lookup_messages == 0
+        client = h.client_for("alice")
+        assert client.lookup_cache.probe(key, now=1.0) is not None
+
+
+class TestGroupCompletion:
+    def config(self, cap=15):
+        return D2Config(max_concurrent_transfers=cap)
+
+    def test_seq_sums(self):
+        assert _group_completion([1.0, 2.0, 3.0], "seq", self.config()) == 6.0
+
+    def test_para_takes_max_under_cap(self):
+        assert _group_completion([1.0, 2.0, 3.0], "para", self.config()) == 3.0
+
+    def test_para_waves_beyond_cap(self):
+        latencies = [1.0] * 20
+        assert _group_completion(latencies, "para", self.config(cap=15)) == 2.0
+
+    def test_empty(self):
+        assert _group_completion([], "seq", self.config()) == 0.0

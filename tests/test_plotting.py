@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderers."""
+
+from repro.analysis.plotting import (
+    ascii_scatter,
+    ascii_timeseries,
+    timeseries_from_samples,
+)
+
+
+class TestTimeseries:
+    def test_renders_all_series_marks(self):
+        chart = ascii_timeseries(
+            {"a": [(0, 1.0), (1, 2.0)], "b": [(0, 0.5), (1, 0.2)]},
+            title="T",
+        )
+        assert "T" in chart
+        assert "o=a" in chart and "x=b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_empty(self):
+        assert "(no data)" in ascii_timeseries({}, title="T")
+
+    def test_extremes_on_chart_edges(self):
+        chart = ascii_timeseries({"a": [(0, 0.0), (10, 5.0)]}, height=8)
+        lines = chart.splitlines()
+        assert "5" in lines[0]                 # y max label on top
+        assert lines[7].strip().startswith("0 |")  # y min label at bottom row
+        assert lines[0].rstrip().endswith("o")     # max point at top-right
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_timeseries({"a": [(0, 3.0), (1, 3.0)]})
+        assert "o" in chart
+
+    def test_from_samples(self):
+        class S:
+            def __init__(self, t, v):
+                self.time, self.nsd = t, v
+
+        points = timeseries_from_samples(
+            [S(86400.0, 0.5), S(172800.0, 0.7)], lambda s: s.nsd
+        )
+        assert points == [(1.0, 0.5), (2.0, 0.7)]
+
+
+class TestScatter:
+    def test_diagonal_and_points(self):
+        chart = ascii_scatter([(1.0, 0.5), (2.0, 4.0)], title="S")
+        assert "S" in chart
+        assert "." in chart and "o" in chart
+
+    def test_counts_sides(self):
+        chart = ascii_scatter([(2.0, 1.0), (2.0, 1.5), (1.0, 3.0)])
+        assert "faster in D2 (below diagonal here): 2; slower: 1" in chart
+
+    def test_empty(self):
+        assert "(no data)" in ascii_scatter([], title="S")
+
+    def test_zero_latency_clamped(self):
+        chart = ascii_scatter([(0.0, 0.0), (1.0, 1.0)])
+        assert "o" in chart
+
+    def test_linear_mode(self):
+        chart = ascii_scatter([(1.0, 2.0), (3.0, 1.0)], log=False)
+        assert "o" in chart

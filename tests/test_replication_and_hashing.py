@@ -1,0 +1,123 @@
+"""Tests for replica placement helpers and consistent hashing."""
+
+import random
+
+import pytest
+
+from repro.dht.consistent_hashing import (
+    describe_balance,
+    hashed_block_key,
+    hashed_key,
+    node_id_for_name,
+    random_node_ids,
+    uniform_spread_ids,
+)
+from repro.dht.keyspace import KEY_SPACE
+from repro.dht.replication import (
+    group_available,
+    nodes_for_keys,
+    placement_bytes,
+    placement_loads,
+    replica_group,
+    replica_groups_for_keys,
+)
+from repro.dht.ring import Ring
+
+
+@pytest.fixture
+def ring():
+    ring = Ring()
+    for i in range(8):
+        ring.join(f"n{i}", (i + 1) * (KEY_SPACE // 8) - 1)
+    return ring
+
+
+class TestReplicaGroup:
+    def test_group_is_r_successors(self, ring):
+        group = replica_group(ring, 0, 3)
+        assert group == ["n0", "n1", "n2"]
+
+    def test_groups_for_clustered_keys_collapse(self, ring):
+        keys = [10, 20, 30]  # all in n0's arc
+        groups = replica_groups_for_keys(ring, keys, 3)
+        assert len(groups) == 1
+
+    def test_groups_for_scattered_keys(self, ring):
+        step = KEY_SPACE // 8
+        keys = [5, step + 5, 4 * step + 5]
+        groups = replica_groups_for_keys(ring, keys, 3)
+        assert len(groups) == 3
+
+    def test_nodes_for_keys_primary_only(self, ring):
+        assert nodes_for_keys(ring, [10, 20]) == {"n0"}
+
+    def test_nodes_for_keys_with_replicas(self, ring):
+        assert nodes_for_keys(ring, [10], replicas=2) == {"n0", "n1"}
+
+    def test_group_available(self):
+        assert group_available({"a"}, ["a", "b", "c"])
+        assert not group_available({"z"}, ["a", "b", "c"])
+        assert not group_available(set(), ["a"])
+
+
+class TestPlacementLoads:
+    def test_block_counts(self, ring):
+        loads = placement_loads(ring, [10, 20, KEY_SPACE // 2 + 10], replicas=2)
+        assert sum(loads.values()) == 6  # 3 keys x 2 replicas
+        assert loads["n0"] == 2
+        assert set(loads) == set(ring.names())  # zero entries included
+
+    def test_byte_volumes(self, ring):
+        loads = placement_bytes(ring, [(10, 100), (20, 50)], replicas=1)
+        assert loads["n0"] == 150
+        assert sum(loads.values()) == 150
+
+
+class TestConsistentHashing:
+    def test_hashed_key_uniformity(self):
+        """Hashed keys should spread across the whole ring."""
+        keys = [hashed_key(f"obj{i}") for i in range(400)]
+        buckets = [0] * 8
+        for key in keys:
+            buckets[key * 8 // KEY_SPACE] += 1
+        assert min(buckets) > 20  # crude uniformity check
+
+    def test_block_keys_distinct(self):
+        keys = {hashed_block_key("/f", b, v) for b in range(5) for v in range(3)}
+        assert len(keys) == 15
+
+    def test_random_node_ids_distinct_sorted(self):
+        ids = random_node_ids(100, random.Random(0))
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 100
+
+    def test_node_id_for_name_deterministic(self):
+        assert node_id_for_name("a") == node_id_for_name("a")
+        assert node_id_for_name("a") != node_id_for_name("b")
+
+    def test_uniform_spread(self):
+        ids = uniform_spread_ids(4)
+        gaps = [b - a for a, b in zip(ids, ids[1:])]
+        assert len(set(gaps)) == 1
+
+    def test_uniform_spread_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            uniform_spread_ids(0)
+
+    def test_describe_balance(self):
+        stats = describe_balance([10, 10, 10, 10])
+        assert stats["nsd"] == 0.0
+        assert stats["max"] == 10
+        assert describe_balance([])["count"] == 0
+
+    def test_random_ids_balance_roughly(self):
+        """Consistent hashing's classic O(log n) imbalance — sanity check."""
+        rng = random.Random(5)
+        ring = Ring()
+        for i, node_id in enumerate(random_node_ids(64, rng)):
+            ring.join(f"n{i}", node_id)
+        keys = [rng.randrange(KEY_SPACE) for _ in range(6400)]
+        loads = placement_loads(ring, keys, replicas=1)
+        stats = describe_balance(loads.values())
+        assert stats["mean"] == pytest.approx(100.0)
+        assert stats["max"] < 12 * stats["mean"]  # log-factor spread

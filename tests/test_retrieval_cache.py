@@ -1,0 +1,84 @@
+"""Tests for the retrieval-cache (request-load) layer."""
+
+import random
+
+import pytest
+
+from repro.dht.consistent_hashing import random_node_ids
+from repro.dht.ring import Ring
+from repro.store.retrieval_cache import RetrievalCacheLayer, replica_only_service
+
+
+@pytest.fixture
+def ring():
+    ring = Ring()
+    rng = random.Random(2)
+    for i, node_id in enumerate(random_node_ids(12, rng)):
+        ring.join(f"n{i}", node_id)
+    return ring
+
+
+def layer_for(ring, **kwargs):
+    kwargs.setdefault("rng", random.Random(0))
+    return RetrievalCacheLayer(ring, **kwargs)
+
+
+class TestServing:
+    def test_first_request_hits_replica(self, ring):
+        layer = layer_for(ring)
+        server = layer.serve(42, "n0", now=0.0)
+        assert server in ring.successors(42, 3)
+        assert layer.stats.served_by_replica == 1
+
+    def test_second_request_can_hit_cache(self, ring):
+        layer = layer_for(ring)
+        layer.serve(42, "n5", now=0.0)
+        server = layer.serve(42, "n7", now=1.0)
+        # The only fresh holder is the first client's gateway.
+        assert server == "n5"
+        assert layer.stats.served_by_cache == 1
+
+    def test_cache_entry_expires(self, ring):
+        layer = layer_for(ring, cache_ttl=10.0)
+        layer.serve(42, "n5", now=0.0)
+        server = layer.serve(42, "n7", now=100.0)
+        assert server in ring.successors(42, 3)
+        assert layer.stats.expirations == 1
+
+    def test_holders_accumulate_with_popularity(self, ring):
+        layer = layer_for(ring, cache_ttl=1e9)
+        for i, client in enumerate(["n1", "n2", "n3", "n4"]):
+            layer.serve(42, client, now=float(i))
+        assert len(layer._fresh_holders(42, now=10.0)) == 4
+
+    def test_capacity_bound_respected(self, ring):
+        layer = layer_for(ring, max_cached_blocks=2, cache_ttl=1e9)
+        for key in (1, 2, 3, 4):
+            layer._insert(key, "n0", now=0.0)
+        assert layer._node_blocks["n0"] == 2
+
+
+class TestHotSpotFlattening:
+    def test_caches_spread_hot_key(self, ring):
+        rng = random.Random(3)
+        requests = [(42, f"n{rng.randrange(12)}") for _ in range(2000)]
+        layer = layer_for(ring, cache_ttl=1e9)
+        for i, (key, client) in enumerate(requests):
+            layer.serve(key, client, now=float(i))
+        baseline = replica_only_service(ring, requests, rng=random.Random(3))
+        base_counts = list(baseline.values())
+        base_factor = max(base_counts) / (sum(base_counts) / len(base_counts))
+        assert layer.hot_spot_factor() < base_factor
+
+    def test_served_counts_cover_all_nodes(self, ring):
+        layer = layer_for(ring)
+        layer.serve(42, "n0", now=0.0)
+        counts = layer.served_counts()
+        assert set(counts) == set(ring.names())
+        assert sum(counts.values()) == 1
+
+    def test_replica_only_service_counts(self, ring):
+        served = replica_only_service(ring, [(42, "n0")] * 10)
+        assert sum(served.values()) == 10
+        group = set(ring.successors(42, 3))
+        assert all(count == 0 for node, count in served.items() if node not in group)

@@ -1,0 +1,113 @@
+"""Tests for the Chord-style greedy finger routing model."""
+
+import math
+import random
+
+import pytest
+
+from repro.dht.consistent_hashing import random_node_ids
+from repro.dht.keyspace import KEY_SPACE
+from repro.dht.ring import Ring
+from repro.dht.routing import expected_hops, route
+
+
+def build_ring(n, seed=0):
+    ring = Ring()
+    rng = random.Random(seed)
+    for i, node_id in enumerate(random_node_ids(n, rng)):
+        ring.join(f"n{i}", node_id)
+    return ring, rng
+
+
+class TestRouteCorrectness:
+    def test_terminates_at_owner(self):
+        ring, rng = build_ring(32)
+        for _ in range(50):
+            key = rng.randrange(KEY_SPACE)
+            result = route(ring, "n0", key)
+            assert result.owner == ring.successor(key)
+            assert result.path[-1] == result.owner
+
+    def test_path_starts_at_source(self):
+        ring, rng = build_ring(8)
+        result = route(ring, "n3", 12345)
+        assert result.path[0] == "n3"
+
+    def test_source_owns_key(self):
+        ring, _ = build_ring(8)
+        own_id = ring.position_of("n2")
+        result = route(ring, "n2", own_id)
+        assert result.owner == "n2"
+        assert result.hops == 0
+        assert result.path == ["n2"]
+
+    def test_single_node_ring(self):
+        ring = Ring()
+        ring.join("solo", 42)
+        result = route(ring, "solo", 7)
+        assert result.owner == "solo"
+        assert result.hops == 0
+
+    def test_two_node_ring(self):
+        ring = Ring()
+        ring.join("a", 100)
+        ring.join("b", KEY_SPACE // 2)
+        for key in (50, 200, KEY_SPACE // 2 + 5):
+            result = route(ring, "a", key)
+            assert result.owner == ring.successor(key)
+
+    def test_unknown_source_rejected(self):
+        ring, _ = build_ring(4)
+        with pytest.raises(ValueError):
+            route(ring, "ghost", 1)
+
+    def test_path_makes_forward_progress(self):
+        """Every hop strictly shrinks the clockwise distance to the key."""
+        ring, rng = build_ring(64, seed=5)
+        from repro.dht.keyspace import distance
+
+        for _ in range(20):
+            key = rng.randrange(KEY_SPACE)
+            result = route(ring, "n0", key)
+            distances = [
+                distance(ring.position_of(name), key) for name in result.path[:-1]
+            ]
+            assert all(d1 > d2 for d1, d2 in zip(distances, distances[1:])) or len(distances) <= 1
+
+
+class TestHopScaling:
+    def test_hops_logarithmic(self):
+        """Mean hops stays within a small factor of 0.5*log2(n)."""
+        for n in (16, 64, 256):
+            ring, rng = build_ring(n, seed=n)
+            total = 0
+            samples = 100
+            for _ in range(samples):
+                source = f"n{rng.randrange(n)}"
+                key = rng.randrange(KEY_SPACE)
+                total += route(ring, source, key).hops
+            mean = total / samples
+            assert mean <= 2.5 * math.log2(n)
+            assert mean >= 0.2 * math.log2(n)
+
+    def test_hops_grow_with_ring_size(self):
+        means = []
+        for n in (8, 512):
+            ring, rng = build_ring(n, seed=n)
+            total = sum(
+                route(ring, f"n{rng.randrange(n)}", rng.randrange(KEY_SPACE)).hops
+                for _ in range(150)
+            )
+            means.append(total / 150)
+        assert means[1] > means[0]
+
+
+class TestMessages:
+    def test_messages_is_hops_plus_response(self):
+        ring, rng = build_ring(32)
+        result = route(ring, "n0", rng.randrange(KEY_SPACE))
+        assert result.messages == result.hops + 1
+
+    def test_expected_hops_formula(self):
+        assert expected_hops(1) == 0.0
+        assert expected_hops(1024) == pytest.approx(5.0)

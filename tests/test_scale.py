@@ -1,0 +1,75 @@
+"""Tests for workload scaling by file-system replication."""
+
+import pytest
+
+from repro.workloads.scale import copies_for_size, replicate_filesystem
+from repro.workloads.trace import READ, Trace, TraceRecord
+
+
+def base_trace():
+    return Trace(
+        "base",
+        [TraceRecord(0.0, "u", READ, "/home/u/f")],
+        initial_dirs=["/home", "/home/u"],
+        initial_files=[("/home/u/f", 100)],
+    )
+
+
+class TestReplicate:
+    def test_zero_copies_identity(self):
+        trace = base_trace()
+        assert replicate_filesystem(trace, 0) is trace
+
+    def test_copies_multiply_storage(self):
+        scaled = replicate_filesystem(base_trace(), 3)
+        assert len(scaled.initial_files) == 4
+        assert sum(s for _, s in scaled.initial_files) == 400
+
+    def test_copies_under_prefixes(self):
+        scaled = replicate_filesystem(base_trace(), 2)
+        paths = [p for p, _ in scaled.initial_files]
+        assert "/replica1/home/u/f" in paths
+        assert "/replica2/home/u/f" in paths
+
+    def test_access_stream_unchanged(self):
+        trace = base_trace()
+        scaled = replicate_filesystem(trace, 4)
+        assert scaled.records == trace.records
+
+    def test_replica_dirs_created(self):
+        scaled = replicate_filesystem(base_trace(), 1)
+        assert "/replica1" in scaled.initial_dirs
+        assert "/replica1/home/u" in scaled.initial_dirs
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_filesystem(base_trace(), -1)
+
+    def test_name_records_scaling(self):
+        assert replicate_filesystem(base_trace(), 2).name == "base+2copies"
+
+
+class TestCopiesForSize:
+    def test_paper_example(self):
+        assert copies_for_size(200, 1000) == 4
+
+    def test_same_size_no_copies(self):
+        assert copies_for_size(200, 200) == 0
+
+    def test_rounding(self):
+        assert copies_for_size(60, 240) == 3
+        assert copies_for_size(60, 120) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            copies_for_size(0, 100)
+
+
+class TestReplayability:
+    def test_scaled_image_loads(self):
+        from repro.core.system import build_deployment
+
+        scaled = replicate_filesystem(base_trace(), 2)
+        d = build_deployment("d2", 8, seed=1)
+        d.load_initial_image(scaled)
+        assert d.fs.namespace.exists("/replica2/home/u/f")

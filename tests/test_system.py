@@ -1,0 +1,142 @@
+"""Integration tests for the Deployment facade."""
+
+import pytest
+
+from repro.core.config import D2Config
+from repro.core.system import SYSTEMS, Deployment, build_deployment
+from repro.fs.blocks import BLOCK_SIZE
+from repro.workloads.trace import READ, CREATE, TraceRecord
+
+
+class TestConstruction:
+    def test_all_systems_build(self):
+        for system in SYSTEMS:
+            d = build_deployment(system, 8, seed=1)
+            assert len(d.ring) == 8
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            build_deployment("pastry", 8)
+
+    def test_balancer_only_for_balancing_systems(self):
+        assert build_deployment("d2", 8).balancer is not None
+        assert build_deployment("traditional+merc", 8).balancer is not None
+        assert build_deployment("traditional", 8).balancer is None
+        assert build_deployment("traditional-file", 8).balancer is None
+
+    def test_balancing_disabled_by_config(self):
+        config = D2Config(active_load_balancing=False)
+        assert build_deployment("d2", 8, config=config).balancer is None
+
+
+class TestVolumeLifecycle:
+    def test_bootstrap_and_create(self, d2_deployment):
+        d2_deployment.bootstrap_volume()
+        d2_deployment.apply_fs_ops(d2_deployment.fs.makedirs("/home/alice"))
+        d2_deployment.apply_fs_ops(
+            d2_deployment.fs.create("/home/alice/f.dat", size=3 * BLOCK_SIZE)
+        )
+        assert len(d2_deployment.store.directory) > 3
+
+    def test_read_fetches_locality(self, d2_deployment):
+        """The headline property: one file's fetches hit <= r nodes."""
+        d2_deployment.bootstrap_volume()
+        d2_deployment.apply_fs_ops(d2_deployment.fs.makedirs("/home/alice"))
+        d2_deployment.apply_fs_ops(
+            d2_deployment.fs.create("/home/alice/f.dat", size=10 * BLOCK_SIZE)
+        )
+        fetches = d2_deployment.read_fetches("/home/alice/f.dat")
+        owners = {d2_deployment.ring.successor(key) for key, _ in fetches}
+        assert len(owners) <= d2_deployment.config.replica_count
+
+    def test_traditional_read_scatters(self):
+        d = build_deployment("traditional", 24, seed=5)
+        d.bootstrap_volume()
+        d.apply_fs_ops(d.fs.makedirs("/home/alice"))
+        d.apply_fs_ops(d.fs.create("/home/alice/f.dat", size=10 * BLOCK_SIZE))
+        fetches = d.read_fetches("/home/alice/f.dat")
+        owners = {d.ring.successor(key) for key, _ in fetches}
+        assert len(owners) > 3
+
+    def test_traditional_file_single_owner(self):
+        d = build_deployment("traditional-file", 24, seed=5)
+        d.bootstrap_volume()
+        d.apply_fs_ops(d.fs.create("/f.dat", size=10 * BLOCK_SIZE))
+        fetches = d.read_fetches("/f.dat")
+        owners = {d.ring.successor(key) for key, _ in fetches}
+        assert len(owners) == 1
+
+
+class TestReplay:
+    def test_read_record(self, d2_deployment, tiny_trace):
+        d2_deployment.load_initial_image(tiny_trace)
+        path, size = tiny_trace.initial_files[0]
+        outcome = d2_deployment.replay_record(
+            TraceRecord(0.0, "u", READ, path, offset=0, length=size)
+        )
+        assert not outcome.skipped
+        assert outcome.fetches
+        assert outcome.files == 1
+
+    def test_missing_path_skipped(self, d2_deployment):
+        d2_deployment.bootstrap_volume()
+        outcome = d2_deployment.replay_record(TraceRecord(0.0, "u", READ, "/ghost"))
+        assert outcome.skipped
+
+    def test_create_record_stores_blocks(self, d2_deployment):
+        d2_deployment.bootstrap_volume()
+        outcome = d2_deployment.replay_record(
+            TraceRecord(0.0, "u", CREATE, "/new.dat", size=2 * BLOCK_SIZE)
+        )
+        assert len(outcome.stores) == 3  # 2 data + inode
+        assert not outcome.skipped
+
+    def test_full_trace_replay(self, d2_deployment, tiny_trace):
+        d2_deployment.load_initial_image(tiny_trace)
+        d2_deployment.stabilize()
+        skipped = 0
+        for record in tiny_trace.records:
+            d2_deployment.advance_to(record.time)
+            skipped += d2_deployment.replay_record(record).skipped
+        assert skipped / max(len(tiny_trace), 1) < 0.06
+
+
+class TestBalancingIntegration:
+    def test_stabilize_balances(self, tiny_trace):
+        d = build_deployment("d2", 24, seed=2)
+        d.load_initial_image(tiny_trace)
+        from repro.dht.load_balance import normalized_std_dev
+
+        before = normalized_std_dev(list(d.store.primary_loads().values()))
+        rounds = d.stabilize()
+        after = normalized_std_dev(list(d.store.primary_loads().values()))
+        assert rounds > 0
+        assert after < before
+
+    def test_stabilize_noop_without_balancer(self, tiny_trace):
+        d = build_deployment("traditional", 24, seed=2)
+        d.load_initial_image(tiny_trace)
+        assert d.stabilize() == 0
+
+    def test_periodic_balancing_runs(self, tiny_trace):
+        d = build_deployment("d2", 24, seed=2)
+        d.load_initial_image(tiny_trace)
+        d.start_periodic_balancing()
+        d.advance_to(d.config.probe_interval * 3)
+        assert d.balancer.stats.probes > 0
+        d.stop_periodic_balancing()
+        probes = d.balancer.stats.probes
+        d.advance_to(d.config.probe_interval * 10)
+        assert d.balancer.stats.probes == probes
+
+    def test_describe(self, d2_deployment):
+        d2_deployment.bootstrap_volume()
+        info = d2_deployment.describe()
+        assert info["system"] == "d2"
+        assert info["nodes"] == 24
+
+    def test_lookup_cache_per_client(self, d2_deployment):
+        a = d2_deployment.lookup_cache_for("alice")
+        b = d2_deployment.lookup_cache_for("bob")
+        assert a is not b
+        assert d2_deployment.lookup_cache_for("alice") is a

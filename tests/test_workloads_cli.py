@@ -1,0 +1,47 @@
+"""Tests for the workload-generation CLI."""
+
+import pytest
+
+from repro.workloads.__main__ import main
+from repro.workloads.trace import Trace
+
+
+class TestGenerate:
+    def test_harvard_roundtrip(self, tmp_path, capsys):
+        out = str(tmp_path / "h.jsonl")
+        assert main(["harvard", "--users", "2", "--days", "0.2", "-o", out]) == 0
+        assert "wrote" in capsys.readouterr().out
+        trace = Trace.load(out)
+        assert trace.name == "harvard-synth"
+        assert len(trace) > 0
+
+    def test_web_generate(self, tmp_path):
+        out = str(tmp_path / "w.jsonl")
+        assert main(["web", "--users", "2", "--sites", "4",
+                     "--days", "0.1", "-o", out]) == 0
+        assert Trace.load(out).users()
+
+    def test_hp_generate(self, tmp_path):
+        out = str(tmp_path / "b.jsonl")
+        assert main(["hp", "--apps", "2", "--days", "0.1", "-o", out]) == 0
+        assert len(Trace.load(out)) > 0
+
+    def test_stats_subcommand(self, tmp_path, capsys):
+        out = str(tmp_path / "h.jsonl")
+        main(["harvard", "--users", "2", "--days", "0.1", "-o", out])
+        capsys.readouterr()
+        assert main(["stats", out]) == 0
+        text = capsys.readouterr().out
+        assert "accesses:" in text
+        assert "active_bytes:" in text
+
+    def test_seed_reproducible(self, tmp_path):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        main(["harvard", "--users", "2", "--days", "0.1", "--seed", "5", "-o", a])
+        main(["harvard", "--users", "2", "--days", "0.1", "--seed", "5", "-o", b])
+        assert open(a).read() == open(b).read()
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,124 @@
+"""Tests for the 30-second write-back / buffer cache."""
+
+import pytest
+
+from repro.fs.blocks import BlockKind
+from repro.fs.fslayer import BlockOp
+from repro.fs.writeback_cache import WritebackCache
+
+
+def put(ident, key, size=100, version=1):
+    return BlockOp("put", key, size, BlockKind.DATA, ident, version)
+
+
+def rm(ident, key, size=100, version=0):
+    return BlockOp("remove", key, size, BlockKind.DATA, ident, version)
+
+
+def get(ident, key, size=100, version=1):
+    return BlockOp("get", key, size, BlockKind.DATA, ident, version)
+
+
+class TestWriteCoalescing:
+    def test_put_buffered_until_delay(self):
+        cache = WritebackCache(flush_delay=30.0)
+        cache.write([put("f:b1", 111)], now=0.0)
+        assert cache.flush_due(now=10.0) == []
+        flushed = cache.flush_due(now=30.0)
+        assert [op.key for op in flushed] == [111]
+
+    def test_rewrites_coalesce_to_last_version(self):
+        """Rapid rewrites flush only the final version (temp-file savings)."""
+        cache = WritebackCache(flush_delay=30.0)
+        cache.write([put("f:b1", 111, version=1)], now=0.0)
+        cache.write([put("f:b1", 222, version=2), rm("f:b1", 111, version=1)], now=5.0)
+        flushed = cache.flush_due(now=30.0)
+        keys = [op.key for op in flushed if op.action == "put"]
+        assert keys == [222]
+        # The superseded version never reached the DHT, so no remove for it.
+        assert all(op.key != 111 for op in flushed if op.action == "remove")
+        assert cache.stats.puts_superseded == 1
+
+    def test_flush_timer_starts_at_first_dirty(self):
+        cache = WritebackCache(flush_delay=30.0)
+        cache.write([put("f:b1", 111, version=1)], now=0.0)
+        cache.write([put("f:b1", 222, version=2)], now=29.0)
+        assert [op.key for op in cache.flush_due(now=30.0) if op.action == "put"] == [222]
+
+    def test_remove_of_buffered_put_cancels_both(self):
+        cache = WritebackCache(flush_delay=30.0)
+        cache.write([put("f:b1", 111)], now=0.0)
+        cache.write([rm("f:b1", 111)], now=1.0)
+        assert cache.flush_due(now=60.0) == []
+        assert cache.stats.removes_cancelled == 1
+
+    def test_remove_of_flushed_version_passes_through(self):
+        cache = WritebackCache(flush_delay=30.0)
+        cache.write([rm("f:b1", 111)], now=0.0)
+        flushed = cache.flush_due(now=30.0)
+        assert [(op.action, op.key) for op in flushed] == [("remove", 111)]
+
+    def test_flush_all(self):
+        cache = WritebackCache(flush_delay=30.0)
+        cache.write([put("a", 1), put("b", 2)], now=0.0)
+        flushed = cache.flush_all()
+        assert {op.key for op in flushed} == {1, 2}
+        assert cache.dirty_count == 0
+
+    def test_separate_idents_flush_separately(self):
+        cache = WritebackCache(flush_delay=30.0)
+        cache.write([put("a", 1)], now=0.0)
+        cache.write([put("b", 2)], now=20.0)
+        first = cache.flush_due(now=30.0)
+        assert [op.key for op in first] == [1]
+        second = cache.flush_due(now=50.0)
+        assert [op.key for op in second] == [2]
+
+    def test_write_absorption_stat(self):
+        cache = WritebackCache(flush_delay=30.0)
+        for v in range(1, 5):
+            cache.write([put("f", 100 + v, version=v)], now=0.0)
+        cache.flush_all()
+        assert cache.stats.puts_in == 4
+        assert cache.stats.puts_out == 1
+        assert cache.stats.write_absorption == pytest.approx(0.75)
+
+
+class TestReadPath:
+    def test_dirty_block_read_hits(self):
+        cache = WritebackCache(flush_delay=30.0)
+        cache.write([put("f:b1", 111)], now=0.0)
+        assert cache.read(get("f:b1", 111), now=1.0) is True
+
+    def test_repeated_read_within_ttl_hits(self):
+        cache = WritebackCache(flush_delay=30.0)
+        assert cache.read(get("f:b1", 111), now=0.0) is False
+        assert cache.read(get("f:b1", 111), now=10.0) is True
+
+    def test_read_after_ttl_misses(self):
+        cache = WritebackCache(flush_delay=30.0)
+        cache.read(get("f:b1", 111), now=0.0)
+        assert cache.read(get("f:b1", 111), now=31.0) is False
+
+    def test_new_version_misses(self):
+        cache = WritebackCache(flush_delay=30.0)
+        cache.read(get("f:b1", 111), now=0.0)
+        assert cache.read(get("f:b1", 222, version=2), now=1.0) is False
+
+    def test_filter_reads(self):
+        cache = WritebackCache(flush_delay=30.0)
+        ops = [get("a", 1), get("b", 2), get("a", 1)]
+        missing = cache.filter_reads(ops, now=0.0)
+        assert [op.key for op in missing] == [1, 2]
+
+    def test_read_rejects_non_get(self):
+        cache = WritebackCache()
+        with pytest.raises(ValueError):
+            cache.read(put("a", 1), now=0.0)
+
+    def test_staleness_bounded_by_flush_delay(self):
+        """A block is dirty for at most flush_delay before others see it."""
+        cache = WritebackCache(flush_delay=30.0)
+        cache.write([put("f", 1)], now=100.0)
+        assert cache.flush_due(now=129.9) == []
+        assert cache.flush_due(now=130.0) != []
