@@ -57,6 +57,7 @@ class BalanceResult:
     daily_migrated: List[int]
     bytes_at_day_start: List[int]
     moves: int
+    metrics: Optional[dict] = None  # deployment observability snapshot
 
     def mean_nsd(self) -> float:
         if not self.samples:
@@ -184,6 +185,7 @@ def run_harvard_balance(
         daily_migrated=[row["migrated"] for row in series],
         bytes_at_day_start=bytes_at_start,
         moves=deployment.store.moves_executed,
+        metrics=deployment.observability_snapshot(),
     )
 
 
@@ -252,4 +254,5 @@ def run_webcache_balance(
         daily_migrated=[row["migrated"] for row in series],
         bytes_at_day_start=bytes_at_start,
         moves=store.moves_executed,
+        metrics=deployment.observability_snapshot(),
     )

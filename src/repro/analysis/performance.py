@@ -68,6 +68,7 @@ class PerformanceResult:
     cache_hits: int
     cache_misses: int
     per_user_miss_rate: Dict[str, float]
+    metrics: Optional[Dict[str, object]] = None  # deployment observability snapshot
 
     @property
     def messages_per_node(self) -> float:
@@ -130,10 +131,11 @@ def compare(base: PerformanceResult, fast: PerformanceResult) -> SpeedupReport:
 class _Client:
     """One user's client-side state: node placement and caches."""
 
-    def __init__(self, user: str, node: str, cache_ttl: float) -> None:
+    def __init__(self, user: str, node: str, cache_ttl: float,
+                 registry=None, tracer=None) -> None:
         self.user = user
         self.node = node
-        self.lookup_cache = LookupCache(ttl=cache_ttl)
+        self.lookup_cache = LookupCache(ttl=cache_ttl, registry=registry, tracer=tracer)
         self.buffer_cache: Dict[str, Tuple[float, int]] = {}  # ident -> (time, key)
 
 
@@ -159,6 +161,10 @@ class PerformanceHarness:
         self.clients: Dict[str, _Client] = {}
         self.lookup_messages = 0
         self.lookups = 0
+        # Aggregate observability: client caches share the deployment's
+        # registry/tracer; the harness adds distributions of its own.
+        self._h_route_messages = deployment.metrics.histogram("lookup.route_messages")
+        self._h_fetch_latency = deployment.metrics.histogram("fetch.latency_seconds")
 
     def client_for(self, user: str) -> _Client:
         client = self.clients.get(user)
@@ -166,7 +172,13 @@ class PerformanceHarness:
             node = self.deployment.node_names[
                 self.rng.randrange(len(self.deployment.node_names))
             ]
-            client = _Client(user, node, self.deployment.config.lookup_cache_ttl)
+            client = _Client(
+                user,
+                node,
+                self.deployment.config.lookup_cache_ttl,
+                registry=self.deployment.metrics,
+                tracer=self.deployment.tracer,
+            )
             self.clients[user] = client
         return client
 
@@ -233,12 +245,14 @@ class PerformanceHarness:
             server, client.node, nbytes, arrival, rate_bytes_per_sec=self.bandwidth
         )
         finish = max(arrival + result.duration, contention_done + self.latency.one_way(server, client.node))
+        self._h_fetch_latency.observe(finish - now)
         return finish - now
 
     def _routed_lookup(self, source: str, key: int, now: float) -> float:
         """Recursive lookup latency: hop legs plus the response leg."""
         result = route(self.deployment.ring, source, key)
         self.lookup_messages += result.messages
+        self._h_route_messages.observe(result.messages)
         latency = self.latency.path_latency(result.path)
         latency += self.latency.one_way(result.path[-1], source)
         return latency
@@ -353,6 +367,7 @@ def run_performance(
         cache_hits=hits,
         cache_misses=misses,
         per_user_miss_rate=per_user_rates,
+        metrics=deployment.observability_snapshot(),
     )
 
 

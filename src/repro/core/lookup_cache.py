@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.dht.keyspace import in_interval
+from repro.obs.events import LOOKUP_HIT, LOOKUP_MISS, LOOKUP_STALE, EventTracer
+from repro.obs.metrics import MetricsRegistry
 
 DEFAULT_TTL = 4500.0  # 1.25 hours, per Section 5
 
@@ -36,13 +38,44 @@ class CacheEntry:
         return in_interval(key, self.lo, self.hi)
 
 
-@dataclass
 class LookupCacheStats:
-    hits: int = 0
-    misses: int = 0
-    stale_hits: int = 0  # hits later reported wrong by the caller
-    inserts: int = 0
-    evictions: int = 0
+    """Per-cache lookup statistics, backed by metric counters.
+
+    Keeps the exact read/write API of the old stats dataclass (``hits``,
+    ``misses``, ``stale_hits``, ``inserts``, ``evictions``, plus derived
+    rates) while storing each field in a :class:`~repro.obs.metrics.Counter`
+    of a private registry — so the same numbers flow into metric snapshots
+    with no second bookkeeping path.
+    """
+
+    FIELDS = ("hits", "misses", "stale_hits", "inserts", "evictions")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "lookup", **initial: int) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self._registry.counter(f"{prefix}.{name}") for name in self.FIELDS
+        }
+        for name, value in initial.items():
+            if name not in self._counters:
+                raise TypeError(f"unknown stats field {name!r}")
+            self._counters[name].add(value)
+
+    def _get(self, name: str) -> int:
+        return self._counters[name].value
+
+    def _set(self, name: str, value: int) -> None:
+        self._counters[name].add(value - self._counters[name].value)
+
+    hits = property(lambda s: s._get("hits"), lambda s, v: s._set("hits", v))
+    misses = property(lambda s: s._get("misses"), lambda s, v: s._set("misses", v))
+    stale_hits = property(
+        lambda s: s._get("stale_hits"), lambda s, v: s._set("stale_hits", v)
+    )
+    inserts = property(lambda s: s._get("inserts"), lambda s, v: s._set("inserts", v))
+    evictions = property(
+        lambda s: s._get("evictions"), lambda s, v: s._set("evictions", v)
+    )
 
     @property
     def lookups(self) -> int:
@@ -60,33 +93,66 @@ class LookupCacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LookupCacheStats):
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f) for f in self.FIELDS)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{f}={getattr(self, f)}" for f in self.FIELDS)
+        return f"LookupCacheStats({fields})"
+
 
 class LookupCache:
     """One client's cache of ``(key range → node)`` entries with TTL expiry.
 
-    Entries are kept sorted by range end so a probe is a binary search.
-    Ranges may overlap transiently after churn; the freshest entry wins.
+    Entries are kept sorted by range end; ranges may overlap transiently
+    after churn, in which case the freshest entry (latest ``expires_at``)
+    wins.  With a shared *registry*/*tracer*, every probe also feeds the
+    deployment-wide aggregate counters (``lookup.hits`` etc.) and the event
+    stream — each cache's own :class:`LookupCacheStats` stays per-client.
     """
 
-    def __init__(self, ttl: float = DEFAULT_TTL) -> None:
+    def __init__(
+        self,
+        ttl: float = DEFAULT_TTL,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[EventTracer] = None,
+    ) -> None:
         self.ttl = ttl
         self._entries: List[CacheEntry] = []  # sorted by hi
         self._his: List[int] = []
         self.stats = LookupCacheStats()
+        self._shared = LookupCacheStats(registry) if registry is not None else None
+        self._tracer = tracer
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _count(self, field: str, amount: int = 1) -> None:
+        self.stats._counters[field].add(amount)
+        if self._shared is not None:
+            self._shared._counters[field].add(amount)
+
     def probe(self, key: int, now: float) -> Optional[str]:
         """Node caching says owns *key*, or None on a miss.
 
-        Expired entries are treated as misses (and dropped lazily).
+        An expired entry is dropped on sight, so it can never mask a live
+        overlapping entry at the same range end.
         """
         entry = self._find(key)
         if entry is not None and entry.expires_at > now:
-            self.stats.hits += 1
+            self._count("hits")
+            if self._tracer is not None:
+                self._tracer.emit(LOOKUP_HIT, now, key=key, node=entry.node)
             return entry.node
-        self.stats.misses += 1
+        if entry is not None:
+            self._remove_entry(entry)
+            self._count("evictions")
+        self._count("misses")
+        if self._tracer is not None:
+            self._tracer.emit(LOOKUP_MISS, now, key=key)
         return None
 
     def insert(self, lo: int, hi: int, node: str, now: float) -> None:
@@ -103,33 +169,46 @@ class LookupCache:
         else:
             self._his.insert(index, hi)
             self._entries.insert(index, entry)
-        self.stats.inserts += 1
+        self._count("inserts")
 
-    def invalidate(self, key: int) -> None:
+    def invalidate(self, key: int, now: Optional[float] = None) -> None:
         """Drop the entry covering *key* (used after a stale-entry fault)."""
         entry = self._find(key)
         if entry is not None:
-            index = self._entries.index(entry)
-            del self._entries[index]
-            del self._his[index]
-            self.stats.stale_hits += 1
+            self._remove_entry(entry)
+            self._count("stale_hits")
+            if self._tracer is not None:
+                self._tracer.emit(
+                    LOOKUP_STALE,
+                    now if now is not None else entry.expires_at - self.ttl,
+                    key=key,
+                    node=entry.node,
+                )
 
     def _find(self, key: int) -> Optional[CacheEntry]:
-        if not self._entries:
-            return None
-        # The candidate entry is the first whose range end is >= key, with
-        # wrap-around: an arc (lo, hi] with lo > hi also covers small keys.
-        index = bisect.bisect_left(self._his, key)
-        for candidate in (index % len(self._entries), 0):
-            entry = self._entries[candidate]
-            if entry.covers(key):
-                return entry
-        return None
+        """Freshest entry covering *key*, expired or not.
+
+        Overlaps are transient (a few entries after churn), but a covering
+        entry can sit at any index once arcs overlap or wrap, so all
+        candidates are scanned and the latest ``expires_at`` wins — live
+        entries therefore always beat expired ones.
+        """
+        best: Optional[CacheEntry] = None
+        for entry in self._entries:
+            if entry.covers(key) and (best is None or entry.expires_at > best.expires_at):
+                best = entry
+        return best
+
+    def _remove_entry(self, entry: CacheEntry) -> None:
+        index = self._entries.index(entry)
+        del self._entries[index]
+        del self._his[index]
 
     def _drop_expired(self, now: float) -> None:
         live = [(h, e) for h, e in zip(self._his, self._entries) if e.expires_at > now]
-        if len(live) != len(self._entries):
-            self.stats.evictions += len(self._entries) - len(live)
+        dropped = len(self._entries) - len(live)
+        if dropped:
+            self._count("evictions", dropped)
             self._his = [h for h, _ in live]
             self._entries = [e for _, e in live]
 

@@ -46,6 +46,8 @@ from repro.fs.blocks import (
 from repro.fs.fslayer import BlockOp, DhtFileSystem, apply_ops
 from repro.fs.keyschemes import make_scheme
 from repro.fs.namespace import NamespaceError
+from repro.obs.events import NODE_JOIN, EventTracer
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import PeriodicTask, Simulator
 from repro.store.migration import StorageCoordinator
 from repro.workloads.trace import (
@@ -98,11 +100,14 @@ class Deployment:
         self.system = system
         self.config = config.validate()
         self.rng = random.Random(seed)
-        self.sim = Simulator()
+        self.metrics = MetricsRegistry()
+        self.tracer = EventTracer()
+        self.sim = Simulator(registry=self.metrics)
         self.ring = Ring()
         self.node_names = [f"node{i:04d}" for i in range(n_nodes)]
         for name, node_id in zip(self.node_names, random_node_ids(n_nodes, self.rng)):
             self.ring.join(name, node_id)
+            self.tracer.emit(NODE_JOIN, 0.0, node=name, position=node_id)
         self.store = StorageCoordinator(
             self.ring,
             self.sim,
@@ -110,6 +115,8 @@ class Deployment:
             use_pointers=config.use_pointers,
             removal_delay=config.removal_delay,
             replica_count=config.replica_count,
+            registry=self.metrics,
+            tracer=self.tracer,
         )
         scheme_name = "traditional" if system == "traditional+merc" else system
         self.fs = DhtFileSystem(make_scheme(scheme_name, volume))
@@ -120,6 +127,8 @@ class Deployment:
                 self.store,
                 threshold=config.balance_threshold,
                 rng=random.Random(seed + 1),
+                registry=self.metrics,
+                tracer=self.tracer,
             )
         self._probe_task: Optional[PeriodicTask] = None
         self._lookup_caches: Dict[str, LookupCache] = {}
@@ -176,7 +185,11 @@ class Deployment:
     def lookup_cache_for(self, client: str) -> LookupCache:
         cache = self._lookup_caches.get(client)
         if cache is None:
-            cache = LookupCache(ttl=self.config.lookup_cache_ttl)
+            cache = LookupCache(
+                ttl=self.config.lookup_cache_ttl,
+                registry=self.metrics,
+                tracer=self.tracer,
+            )
             self._lookup_caches[client] = cache
         return cache
 
@@ -240,11 +253,14 @@ class Deployment:
                 outcome.files = 1
             elif record.op == DELETE:
                 self.apply_fs_ops(self.fs.remove(record.path))
+                outcome.files = 1
             elif record.op == MKDIR:
                 if not self.fs.namespace.exists(record.path):
                     self.apply_fs_ops(self.fs.makedirs(record.path))
+                outcome.files = 1
             elif record.op == RENAME:
                 self.apply_fs_ops(self.fs.rename(record.path, record.dst_path))
+                outcome.files = 1
         except NamespaceError:
             outcome.skipped = True
         return outcome
@@ -270,6 +286,24 @@ class Deployment:
             "balancer_moves": self.store.moves_executed,
             "pointer_blocks": self.store.pointer_block_count(),
         }
+
+    def observability_snapshot(self) -> Dict[str, object]:
+        """Full metric + event snapshot of this deployment, JSON-ready.
+
+        Counters accumulate over the deployment's whole life (including
+        initial stabilization); gauges are refreshed here, at snapshot
+        time.  The shape matches one report run entry minus ``labels``
+        (see :mod:`repro.obs.report`).
+        """
+        self.metrics.gauge("ring.nodes").set(len(self.ring))
+        self.metrics.gauge("store.blocks").set(len(self.store.directory))
+        self.metrics.gauge("store.bytes").set(self.store.directory.total_bytes)
+        self.metrics.gauge("pointer.blocks").set(self.store.pointer_block_count())
+        self.metrics.gauge("pointer.pending_ranges").set(len(self.store.pointer_table))
+        self.metrics.gauge("sim.now").set(self.sim.now)
+        snapshot: Dict[str, object] = self.metrics.snapshot()
+        snapshot["events"] = self.tracer.counts()
+        return snapshot
 
 
 def _file_block_puts(ops: Sequence[BlockOp]) -> List[Tuple[int, int]]:

@@ -25,10 +25,12 @@ creation, replica adjustment, migration accounting) are delegated to a
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Protocol, Sequence
 
 from repro.dht.ring import Ring, load_split_point
+from repro.obs.events import BALANCE_MOVE, BALANCE_PROBE, EventTracer
+from repro.obs.metrics import MetricsRegistry
 
 
 class BalanceCoordinator(Protocol):
@@ -68,12 +70,46 @@ class MoveRecord:
     target_load_before: int
 
 
-@dataclass
 class BalancerStats:
-    probes: int = 0
-    triggered: int = 0
-    skipped_small: int = 0
-    moves: List[MoveRecord] = field(default_factory=list)
+    """Balancer counters, backed by metric counters (API-compatible view).
+
+    ``probes``/``triggered``/``skipped_small`` read and write registry
+    counters (``balance.*``); ``moves`` stays a plain list of
+    :class:`MoveRecord` for logging and tests, mirrored by the
+    ``balance.moves`` counter.
+    """
+
+    FIELDS = ("probes", "triggered", "skipped_small")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self._registry.counter(f"balance.{name}") for name in self.FIELDS
+        }
+        self._moves_counter = self._registry.counter("balance.moves")
+        self.moves: List[MoveRecord] = []
+
+    def _get(self, name: str) -> int:
+        return self._counters[name].value
+
+    def _set(self, name: str, value: int) -> None:
+        self._counters[name].add(value - self._counters[name].value)
+
+    probes = property(lambda s: s._get("probes"), lambda s, v: s._set("probes", v))
+    triggered = property(
+        lambda s: s._get("triggered"), lambda s, v: s._set("triggered", v)
+    )
+    skipped_small = property(
+        lambda s: s._get("skipped_small"), lambda s, v: s._set("skipped_small", v)
+    )
+
+    def record_move(self, record: MoveRecord) -> None:
+        self.moves.append(record)
+        self._moves_counter.inc()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{f}={getattr(self, f)}" for f in self.FIELDS)
+        return f"BalancerStats({fields}, moves={len(self.moves)})"
 
 
 class KargerRuhlBalancer:
@@ -88,6 +124,8 @@ class KargerRuhlBalancer:
         rng: Optional[random.Random] = None,
         min_split_load: int = 2,
         sampling: str = "membership",
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[EventTracer] = None,
     ) -> None:
         if threshold < 2.0:
             raise ValueError("threshold below 2 cannot converge (Karger-Ruhl requires t >= 4 for the proof)")
@@ -102,7 +140,12 @@ class KargerRuhlBalancer:
         # "random-walk" uses Mercury's decentralized sampling (see
         # repro.dht.sampling), which a real node could actually execute.
         self._sampling = sampling
-        self.stats = BalancerStats()
+        self._tracer = tracer
+        # Membership snapshot reused across probes until the ring changes
+        # (probe_round used to rebuild this O(n) list for every probe).
+        self._members: List[str] = []
+        self._members_version = -1
+        self.stats = BalancerStats(registry)
 
     @property
     def threshold(self) -> float:
@@ -116,10 +159,12 @@ class KargerRuhlBalancer:
         sampled node's primary load exceeds ``t`` times the prober's, the
         prober moves to the sampled node's load midpoint.
         """
-        self.stats.probes += 1
-        if len(self._ring) < 2:
-            return None
+        self.stats._counters["probes"].inc()
         target = self._sample_other(prober)
+        if self._tracer is not None:
+            self._tracer.emit(BALANCE_PROBE, now, prober=prober, target=target)
+        if target is None:
+            return None
         return self._maybe_move(prober, target, now)
 
     def probe_round(self, now: float = 0.0) -> List[MoveRecord]:
@@ -159,12 +204,23 @@ class KargerRuhlBalancer:
 
     # ------------------------------------------------------------------
 
-    def _sample_other(self, prober: str) -> str:
+    def _sample_other(self, prober: str) -> Optional[str]:
+        """Uniform-random node other than *prober*, or None if there is none.
+
+        The single-node case is handled here (not just by callers), and the
+        membership list is cached against :attr:`Ring.version` instead of
+        being rebuilt on every probe.
+        """
+        if len(self._ring) < 2:
+            return None
         if self._sampling == "random-walk":
             from repro.dht.sampling import sample_other
 
             return sample_other(self._ring, prober, self._rng)
-        names = list(self._ring.names())
+        if self._members_version != self._ring.version:
+            self._members = list(self._ring.names())
+            self._members_version = self._ring.version
+        names = self._members
         while True:
             candidate = names[self._rng.randrange(len(names))]
             if candidate != prober:
@@ -183,13 +239,13 @@ class KargerRuhlBalancer:
         lo, hi = self._ring.range_of(target)
         split = load_split_point(self._coordinator.primary_keys(target), lo, hi)
         if split is None:
-            self.stats.skipped_small += 1
+            self.stats._counters["skipped_small"].inc()
             return None
         new_id = self._ring.free_position_at(split)
         if new_id == self._ring.position_of(prober):
             return None
         old_id = self._ring.position_of(prober)
-        self.stats.triggered += 1
+        self.stats._counters["triggered"].inc()
         self._coordinator.execute_move(prober, new_id)
         record = MoveRecord(
             time=now,
@@ -200,7 +256,16 @@ class KargerRuhlBalancer:
             mover_load_before=prober_load,
             target_load_before=target_load,
         )
-        self.stats.moves.append(record)
+        self.stats.record_move(record)
+        if self._tracer is not None:
+            self._tracer.emit(
+                BALANCE_MOVE,
+                now,
+                mover=prober,
+                target=target,
+                mover_load=prober_load,
+                target_load=target_load,
+            )
         return record
 
 

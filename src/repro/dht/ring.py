@@ -32,6 +32,17 @@ class Ring:
         self._ids: List[int] = []            # sorted ring positions
         self._names: List[str] = []          # names parallel to _ids
         self._position: Dict[str, int] = {}  # name -> current ring position
+        self._version = 0                    # bumped on every membership change
+
+    @property
+    def version(self) -> int:
+        """Monotonic membership/position generation.
+
+        Incremented by every join, leave, or position change, so callers
+        can cache derived views (e.g. the balancer's sampling list) and
+        invalidate them only when the ring actually changed.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # membership
@@ -52,6 +63,7 @@ class Ring:
         self._ids.insert(index, node_id)
         self._names.insert(index, name)
         self._position[name] = node_id
+        self._version += 1
 
     def leave(self, name: str) -> int:
         """Remove node *name*; returns the position it vacated."""
@@ -60,6 +72,7 @@ class Ring:
         del self._ids[index]
         del self._names[index]
         del self._position[name]
+        self._version += 1
         return node_id
 
     def change_position(self, name: str, new_id: int) -> Tuple[int, int]:

@@ -14,9 +14,18 @@ one testbed execution).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Sequence, Tuple
+import os
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.report import build_report, write_report
 
 _CACHE: Dict[Tuple, Any] = {}
+
+#: Environment variable naming a directory for per-run metric snapshots.
+#: When set (or when a driver is given an explicit ``metrics_dir``), the
+#: fig9/fig13/fig16 drivers write one ``<name>.json`` report per invocation
+#: so bench trajectories stay diffable across PRs.
+METRICS_DIR_ENV = "REPRO_METRICS_DIR"
 
 
 def cached(key: Tuple, compute: Callable[[], Any]) -> Any:
@@ -28,6 +37,37 @@ def cached(key: Tuple, compute: Callable[[], Any]) -> Any:
 
 def clear_cache() -> None:
     _CACHE.clear()
+
+
+def metrics_out_dir(explicit: Optional[str] = None) -> Optional[str]:
+    """Directory for metric snapshots: explicit arg, else $REPRO_METRICS_DIR."""
+    return explicit if explicit is not None else os.environ.get(METRICS_DIR_ENV)
+
+
+def emit_metrics_report(
+    name: str,
+    runs: Sequence[Mapping[str, Any]],
+    params: Mapping[str, Any],
+    directory: Optional[str],
+) -> Optional[str]:
+    """Write one schema-v1 metrics report; returns its path (None if disabled).
+
+    *runs* pairs grid-cell labels with deployment observability snapshots:
+    ``[{"labels": {...}, "counters": ..., "gauges": ..., "histograms": ...,
+    "events": ...}, ...]``.
+    """
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    report = build_report(name, runs, params=params)
+    return write_report(report, os.path.join(directory, f"{name}.json"))
+
+
+def labeled_run(labels: Mapping[str, Any], snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """One report run entry from a deployment observability snapshot."""
+    entry: Dict[str, Any] = {"labels": dict(labels)}
+    entry.update(snapshot)
+    return entry
 
 
 def format_table(rows: Sequence[dict], columns: Sequence[str], *, title: str = "") -> str:

@@ -8,13 +8,13 @@ is small).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.experiments import common
-from repro.experiments.perf_runs import performance_matrix
+from repro.experiments.perf_runs import emit_performance_metrics, performance_matrix
 
 
-def run_fig13(**kwargs) -> List[dict]:
+def run_fig13(*, metrics_dir: Optional[str] = None, **kwargs) -> List[dict]:
     matrix = performance_matrix(**kwargs)
     rows: List[dict] = []
     sizes = sorted({k[2] for k in matrix})
@@ -27,6 +27,7 @@ def run_fig13(**kwargs) -> List[dict]:
                 if result is not None:
                     row[f"miss_rate_{system}"] = result.mean_miss_rate
             rows.append(row)
+    emit_performance_metrics("fig13", matrix, kwargs, metrics_dir)
     return rows
 
 

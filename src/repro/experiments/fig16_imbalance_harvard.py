@@ -8,14 +8,27 @@ that balancing quickly flattens; D2's max node load ~1.6x mean (traditional
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.experiments import common
 from repro.experiments.balance_runs import harvard_balance_matrix
 
 
-def run_fig16(**kwargs) -> List[dict]:
+def _emit_metrics(matrix, params, metrics_dir: Optional[str]) -> None:
+    directory = common.metrics_out_dir(metrics_dir)
+    if not directory:
+        return
+    runs = [
+        common.labeled_run({"system": system}, result.metrics)
+        for system, result in sorted(matrix.items())
+        if result.metrics is not None
+    ]
+    common.emit_metrics_report("fig16", runs, params, directory)
+
+
+def run_fig16(*, metrics_dir: Optional[str] = None, **kwargs) -> List[dict]:
     matrix = harvard_balance_matrix(**kwargs)
+    _emit_metrics(matrix, kwargs, metrics_dir)
     rows: List[dict] = []
     for system, result in matrix.items():
         for sample in result.samples:
@@ -32,6 +45,7 @@ def run_fig16(**kwargs) -> List[dict]:
 
 def summarize_fig16(**kwargs) -> List[dict]:
     matrix = harvard_balance_matrix(**kwargs)
+    _emit_metrics(matrix, kwargs, None)  # honors $REPRO_METRICS_DIR
     return [
         {
             "system": system,

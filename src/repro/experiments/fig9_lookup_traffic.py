@@ -8,13 +8,13 @@ largest size D2 sends <1/20 of traditional's messages.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.experiments import common
-from repro.experiments.perf_runs import performance_matrix
+from repro.experiments.perf_runs import emit_performance_metrics, performance_matrix
 
 
-def run_fig9(**kwargs) -> List[dict]:
+def run_fig9(*, metrics_dir: Optional[str] = None, **kwargs) -> List[dict]:
     matrix = performance_matrix(**kwargs)
     rows: List[dict] = []
     sizes = sorted({k[2] for k in matrix})
@@ -27,6 +27,7 @@ def run_fig9(**kwargs) -> List[dict]:
                 if result is not None:
                     row[f"msgs_per_node_{system}"] = result.messages_per_node
             rows.append(row)
+    emit_performance_metrics("fig9", matrix, kwargs, metrics_dir)
     return rows
 
 

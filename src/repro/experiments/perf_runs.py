@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.performance import PerformanceResult, run_performance
 from repro.experiments import common
@@ -10,6 +10,37 @@ from repro.experiments.workload_cache import harvard_trace
 from repro.workloads.scale import copies_for_size, replicate_filesystem
 
 PerfKey = Tuple[str, str, int, float]  # (system, mode, n_nodes, bandwidth_kbps)
+
+
+def emit_performance_metrics(
+    name: str,
+    matrix: Dict[PerfKey, PerformanceResult],
+    params: Mapping[str, object],
+    metrics_dir: Optional[str] = None,
+) -> Optional[str]:
+    """Write one metrics report for a performance-matrix figure run.
+
+    One run entry per grid cell, labelled by (system, mode, n_nodes,
+    bandwidth); a no-op unless *metrics_dir* or $REPRO_METRICS_DIR names a
+    destination.
+    """
+    directory = common.metrics_out_dir(metrics_dir)
+    if not directory:
+        return None
+    runs = [
+        common.labeled_run(
+            {
+                "system": system,
+                "mode": mode,
+                "n_nodes": n_nodes,
+                "bandwidth_kbps": bandwidth,
+            },
+            result.metrics,
+        )
+        for (system, mode, n_nodes, bandwidth), result in sorted(matrix.items())
+        if result.metrics is not None
+    ]
+    return common.emit_metrics_report(name, runs, params, directory)
 
 
 def performance_matrix(

@@ -1,0 +1,83 @@
+"""Observability spine: metrics registry, event tracer, JSON reports.
+
+Usage sketch::
+
+    from repro.obs import MetricsRegistry, EventTracer
+
+    registry = MetricsRegistry()
+    tracer = EventTracer()
+    registry.counter("lookup.hits").inc()
+    tracer.emit(events.LOOKUP_HIT, time=0.0, key=42, node="node0001")
+
+    from repro.obs.report import build_report, snapshot_run, write_report
+    report = build_report("demo", [snapshot_run({"system": "d2"}, registry, tracer)])
+    write_report(report, "demo.json")
+
+``python -m repro.obs summary demo.json`` pretty-prints a report;
+``python -m repro.obs validate demo.json`` checks it against the schema.
+See ``docs/observability.md`` for the metric-name and event catalogs.
+"""
+
+from repro.obs.events import (
+    BALANCE_MOVE,
+    BALANCE_PROBE,
+    EVENT_KINDS,
+    LOOKUP_HIT,
+    LOOKUP_MISS,
+    LOOKUP_STALE,
+    MIGRATION,
+    NODE_JOIN,
+    NODE_LEAVE,
+    POINTER_CREATE,
+    POINTER_FLUSH,
+    Event,
+    EventError,
+    EventTracer,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    SCHEMA,
+    build_report,
+    load_report,
+    snapshot_run,
+    summarize,
+    totals,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "BALANCE_MOVE",
+    "BALANCE_PROBE",
+    "EVENT_KINDS",
+    "LOOKUP_HIT",
+    "LOOKUP_MISS",
+    "LOOKUP_STALE",
+    "MIGRATION",
+    "NODE_JOIN",
+    "NODE_LEAVE",
+    "POINTER_CREATE",
+    "POINTER_FLUSH",
+    "SCHEMA",
+    "Counter",
+    "Event",
+    "EventError",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "build_report",
+    "load_report",
+    "snapshot_run",
+    "summarize",
+    "totals",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,72 @@
+"""CLI for metric reports: ``python -m repro.obs {summary,validate} FILE...``
+
+``summary`` validates then pretty-prints each report; ``validate`` only
+checks the schema.  Bare file arguments default to ``summary``.  Exit code
+is 0 when every file is valid, 1 otherwise (2 on usage errors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.report import load_report, summarize, validate_report
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize or validate repro metrics reports (JSON).",
+    )
+    parser.add_argument(
+        "command",
+        nargs="?",
+        default="summary",
+        help="'summary' (default) or 'validate'; a file path implies summary",
+    )
+    parser.add_argument("files", nargs="*", help="report JSON files")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    command, files = args.command, list(args.files)
+    if command not in ("summary", "validate"):
+        files.insert(0, command)  # bare file list: default to summary
+        command = "summary"
+    if not files:
+        _parser().print_usage(sys.stderr)
+        print("error: no report files given", file=sys.stderr)
+        return 2
+
+    status = 0
+    for index, path in enumerate(files):
+        try:
+            payload = load_report(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable report: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_report(payload)
+        if problems:
+            status = 1
+            print(f"{path}: INVALID", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            continue
+        if command == "validate":
+            print(f"{path}: ok")
+        else:
+            if index:
+                print()
+            print(f"== {path}")
+            print(summarize(payload))
+    return status
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # output piped into head etc.
+        sys.exit(0)

@@ -1,0 +1,111 @@
+"""Structured event tracing: a bounded ring buffer of typed events.
+
+Counters say *how much*; the tracer says *what happened, when*.  Components
+emit one of a fixed vocabulary of event kinds (lookup cache hits/misses/
+staleness faults, balancer probes and moves, pointer adoption/flush,
+migrations, membership changes) with arbitrary JSON-safe payload fields.
+
+The buffer is a ``deque(maxlen=capacity)``: the last *capacity* events are
+kept for inspection while per-kind counts remain exact for the whole run,
+so a long simulation can always answer "how many staleness faults?" even
+after the individual events have rotated out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, Mapping, Optional, Tuple
+
+# Event vocabulary (the schema is documented in docs/observability.md).
+LOOKUP_HIT = "lookup.hit"
+LOOKUP_MISS = "lookup.miss"
+LOOKUP_STALE = "lookup.stale"
+BALANCE_PROBE = "balance.probe"
+BALANCE_MOVE = "balance.move"
+POINTER_CREATE = "pointer.create"
+POINTER_FLUSH = "pointer.flush"
+MIGRATION = "store.migration"
+NODE_JOIN = "node.join"
+NODE_LEAVE = "node.leave"
+
+EVENT_KINDS = frozenset(
+    (
+        LOOKUP_HIT,
+        LOOKUP_MISS,
+        LOOKUP_STALE,
+        BALANCE_PROBE,
+        BALANCE_MOVE,
+        POINTER_CREATE,
+        POINTER_FLUSH,
+        MIGRATION,
+        NODE_JOIN,
+        NODE_LEAVE,
+    )
+)
+
+
+class EventError(Exception):
+    """Raised when an unknown event kind is emitted."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One traced occurrence at simulation time *time*."""
+
+    time: float
+    kind: str
+    data: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"time": self.time, "kind": self.kind, "data": dict(self.data)}
+
+
+class EventTracer:
+    """Bounded buffer of :class:`Event` plus exact per-kind counts."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise EventError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._buffer: Deque[Event] = deque(maxlen=capacity)
+        self._counts: Dict[str, int] = {}
+        self.emitted = 0  # total events ever, including rotated-out ones
+
+    def emit(self, kind: str, time: float, **data: object) -> Event:
+        if kind not in EVENT_KINDS:
+            raise EventError(f"unknown event kind {kind!r}")
+        event = Event(time=time, kind=kind, data=data)
+        self._buffer.append(event)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        self.emitted += 1
+        return event
+
+    def events(self, kind: Optional[str] = None) -> Tuple[Event, ...]:
+        """The buffered (most recent) events, optionally filtered by kind."""
+        if kind is None:
+            return tuple(self._buffer)
+        return tuple(e for e in self._buffer if e.kind == kind)
+
+    def counts(self) -> Dict[str, int]:
+        """Exact per-kind totals for the whole run (JSON-ready)."""
+        return dict(sorted(self._counts.items()))
+
+    @property
+    def dropped(self) -> int:
+        """Events that have rotated out of the buffer."""
+        return self.emitted - len(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(tuple(self._buffer))
+
+    def to_dicts(self) -> Tuple[Dict[str, object], ...]:
+        return tuple(e.to_dict() for e in self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._counts.clear()
+        self.emitted = 0

@@ -1,0 +1,209 @@
+"""Lightweight metrics primitives: counters, gauges, reservoir histograms.
+
+Every instrumented component in the reproduction (lookup caches, the
+balancer, the storage coordinator, the simulator itself) registers its
+metrics in a :class:`MetricsRegistry`.  The registry is the one place a
+run's counters live, so an experiment driver can snapshot the whole system
+in a single call and diff the snapshot against an earlier run — the paper's
+headline numbers (cache miss rate, lookup traffic, balancer moves, pointer
+churn) are all derived from counters like these.
+
+Design constraints:
+
+* **zero dependencies** — plain dataclass-free Python, JSON-friendly
+  snapshots;
+* **cheap on the hot path** — incrementing a counter is one attribute add;
+  histograms use bounded reservoir sampling (Vitter's algorithm R) so
+  memory stays constant however long a simulation runs;
+* **deterministic** — a histogram's reservoir RNG is seeded from the metric
+  name, so identical runs produce identical snapshots.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, Iterator, List, Optional, Union
+
+
+class MetricsError(Exception):
+    """Raised on invalid registry usage (name reuse across metric types)."""
+
+
+class Counter:
+    """A monotonically *intended* cumulative count (floats allowed)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Union[int, float] = 0
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    def add(self, amount: Union[int, float]) -> None:
+        """Adjust by a signed amount (used by stats views emulating fields)."""
+        self._value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """A point-in-time value, overwritten on every :meth:`set`."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Union[int, float] = 0
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+    def set(self, value: Union[int, float]) -> None:
+        self._value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """Streaming distribution summary with a bounded reservoir.
+
+    Exact count/total/min/max; quantiles are estimated from a uniform
+    random sample of *reservoir_size* observations (algorithm R), which is
+    plenty for the latency and hop-count distributions the experiments
+    report.
+    """
+
+    __slots__ = ("name", "reservoir_size", "count", "total", "min", "max",
+                 "_reservoir", "_rng")
+
+    def __init__(self, name: str, reservoir_size: int = 512) -> None:
+        if reservoir_size < 1:
+            raise MetricsError("reservoir_size must be >= 1")
+        self.name = name
+        self.reservoir_size = reservoir_size
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._reservoir: List[float] = []
+        # Seed from the name so identical runs give identical snapshots.
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the reservoir sample (0 <= p <= 100)."""
+        if not 0.0 <= p <= 100.0:
+            raise MetricsError(f"percentile must be in [0, 100], got {p}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics for one system instance (one deployment, one run).
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice for
+    the same name returns the same object, so independent modules can share
+    an aggregate metric without coordination.  Reusing a name across
+    *types* is a bug and raises :class:`MetricsError`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, kind: type, *args) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise MetricsError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        metric = kind(name, *args)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, reservoir_size: int = 512) -> Histogram:
+        return self._get_or_create(name, Histogram, reservoir_size)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> Iterator[str]:
+        return iter(sorted(self._metrics))
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready snapshot: ``{counters, gauges, histograms}``."""
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        histograms: Dict[str, object] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.snapshot()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -51,12 +51,20 @@ class Simulator:
     [1.0, 5.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, *, registry=None) -> None:
         self._now = float(start_time)
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._cancelled: set = set()
         self._running = False
+        # Optional observability hook (repro.obs.metrics.MetricsRegistry):
+        # counts fired/cancelled events so a metrics snapshot can report how
+        # much simulated work a run performed.  Kept duck-typed so the
+        # kernel stays dependency-free.
+        self._fired_counter = registry.counter("sim.events_fired") if registry else None
+        self._cancelled_counter = (
+            registry.counter("sim.events_cancelled") if registry else None
+        )
 
     @property
     def now(self) -> float:
@@ -124,11 +132,15 @@ class Simulator:
                 heapq.heappop(self._queue)
                 if (when, seq) in self._cancelled:
                     self._cancelled.discard((when, seq))
+                    if self._cancelled_counter is not None:
+                        self._cancelled_counter.inc()
                     continue
                 if when < self._now:
                     raise SimulationError("event queue corrupted: time went backwards")
                 self._now = when
                 callback()
+                if self._fired_counter is not None:
+                    self._fired_counter.inc()
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -140,9 +152,13 @@ class Simulator:
             when, seq, callback = heapq.heappop(self._queue)
             if (when, seq) in self._cancelled:
                 self._cancelled.discard((when, seq))
+                if self._cancelled_counter is not None:
+                    self._cancelled_counter.inc()
                 continue
             self._now = when
             callback()
+            if self._fired_counter is not None:
+                self._fired_counter.inc()
             return True
         return False
 

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.dht.ring import Ring
+from repro.obs.events import MIGRATION, POINTER_CREATE, POINTER_FLUSH, EventTracer
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.store.block_store import BlockDirectory
 from repro.store.pointers import PointerRange, PointerTable
@@ -102,9 +104,22 @@ class StorageCoordinator:
         use_pointers: bool = True,
         removal_delay: float = 30.0,
         replica_count: int = 3,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[EventTracer] = None,
     ) -> None:
         self.ring = ring
         self.sim = sim
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._tracer = tracer
+        self._c_writes = self.metrics.counter("store.writes")
+        self._c_written_bytes = self.metrics.counter("store.written_bytes")
+        self._c_removes = self.metrics.counter("store.removes")
+        self._c_removed_bytes = self.metrics.counter("store.removed_bytes")
+        self._c_migrations = self.metrics.counter("store.migrations")
+        self._c_migrated_bytes = self.metrics.counter("store.migrated_bytes")
+        self._c_moves = self.metrics.counter("store.moves")
+        self._c_pointer_adopted = self.metrics.counter("pointer.adopted")
+        self._c_pointer_stabilized = self.metrics.counter("pointer.stabilized")
         self.directory = BlockDirectory()
         self.pointer_table = PointerTable()
         self.ledger = TrafficLedger()
@@ -129,6 +144,8 @@ class StorageCoordinator:
         delta = self.directory.put(key, size)
         self.physical_at[key] = self.ring.successor(key)
         self.ledger.record_write(self.sim.now, max(delta, size))
+        self._c_writes.inc()
+        self._c_written_bytes.inc(max(delta, size))
         if ttl is not None:
             self._set_expiry(key, ttl)
         elif key in self._expires_at:
@@ -162,6 +179,8 @@ class StorageCoordinator:
         if size is not None:
             self.physical_at.pop(key, None)
             self.ledger.record_remove(self.sim.now, size)
+            self._c_removes.inc()
+            self._c_removed_bytes.inc(size)
 
     def remove(self, key: int, *, delay: Optional[float] = None) -> None:
         """Remove a block after the grace period (default: removal_delay).
@@ -176,6 +195,8 @@ class StorageCoordinator:
             if size is not None:
                 self.physical_at.pop(key, None)
                 self.ledger.record_remove(self.sim.now, size)
+                self._c_removes.inc()
+                self._c_removed_bytes.inc(size)
 
         if wait <= 0:
             _expire()
@@ -226,6 +247,7 @@ class StorageCoordinator:
 
         self.ring.change_position(mover, new_id)
         self.moves_executed += 1
+        self._c_moves.inc()
 
         if not single_node:
             # Whoever owns the vacated arc now adopts it.  When the mover
@@ -244,6 +266,11 @@ class StorageCoordinator:
     def _hand_off(self, lo: int, hi: int, adopter: str) -> None:
         if self.use_pointers:
             record = self.pointer_table.adopt(lo, hi, adopter, self.sim.now)
+            self._c_pointer_adopted.inc()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    POINTER_CREATE, self.sim.now, lo=lo, hi=hi, owner=adopter
+                )
             self.sim.schedule(
                 self.pointer_stabilization_time, lambda: self._stabilize(record)
             )
@@ -252,7 +279,16 @@ class StorageCoordinator:
 
     def _stabilize(self, record: PointerRange) -> None:
         """Pointer stabilization: pull in any bytes still held elsewhere."""
-        self.pointer_table.retire(record)
+        if self.pointer_table.retire(record):
+            self._c_pointer_stabilized.inc()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    POINTER_FLUSH,
+                    self.sim.now,
+                    lo=record.lo,
+                    hi=record.hi,
+                    owner=record.owner,
+                )
         self._fetch_range(record.lo, record.hi)
 
     def _fetch_range(self, lo: int, hi: int) -> None:
@@ -270,6 +306,10 @@ class StorageCoordinator:
                 self.physical_at[key] = owner
         if migrated:
             self.ledger.record_migration(self.sim.now, migrated)
+            self._c_migrations.inc()
+            self._c_migrated_bytes.inc(migrated)
+            if self._tracer is not None:
+                self._tracer.emit(MIGRATION, self.sim.now, lo=lo, hi=hi, bytes=migrated)
 
     def flush_all_pointers(self) -> None:
         """Force-stabilize everything (used at experiment teardown)."""

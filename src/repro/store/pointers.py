@@ -55,13 +55,18 @@ class PointerTable:
         self.adopted_count += 1
         return record
 
-    def retire(self, record: PointerRange) -> None:
-        """Drop a range whose stabilization event has fired."""
+    def retire(self, record: PointerRange) -> bool:
+        """Drop a range whose stabilization event has fired.
+
+        Returns False when the range was already retired (e.g. superseded
+        by a later adoption or a force-flush), True otherwise.
+        """
         try:
             self._ranges.remove(record)
         except ValueError:
-            return  # already retired (e.g. superseded by a later adoption)
+            return False  # already retired
         self.stabilized_count += 1
+        return True
 
     def pending(self) -> Tuple[PointerRange, ...]:
         return tuple(self._ranges)

@@ -100,6 +100,53 @@ class TestStats:
         assert cache.stats.hit_rate == 0.0
 
 
+class TestStalenessAndOverlapRegressions:
+    """Regressions for the lazily-dropped / overlap-shadowing bugs.
+
+    These fail on the pre-fix cache, which (a) kept expired entries in the
+    table after returning them as misses and (b) only examined the bisect
+    candidate and index 0, so a covering entry elsewhere was invisible and
+    the documented freshest-entry-wins rule was unimplemented.
+    """
+
+    def test_expired_entry_dropped_on_probe(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 20, "n1", now=0.0)
+        assert cache.probe(15, now=150.0) is None
+        assert len(cache) == 0  # dropped, not merely skipped
+        assert cache.stats.evictions == 1
+
+    def test_expired_entry_does_not_mask_live_overlap(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 30, "old", now=0.0)   # expires at 100
+        cache.insert(5, 40, "new", now=50.0)   # fresher, overlapping arc
+        # At t=120 "old" has expired but "new" still covers key 20; the
+        # expired entry must not shadow it into a permanent miss.
+        assert cache.probe(20, now=120.0) == "new"
+
+    def test_freshest_entry_wins_on_transient_overlap(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 30, "a", now=0.0)
+        cache.insert(5, 40, "b", now=10.0)  # learned later => fresher
+        assert cache.probe(20, now=50.0) == "b"
+
+    def test_covering_entry_found_at_any_index(self):
+        # A wrapping arc whose range end bisects *before* other entries:
+        # the old two-candidate probe never looked at it.
+        cache = LookupCache(ttl=100.0)
+        cache.insert(1, 2, "tiny", now=0.0)
+        cache.insert(MAX_KEY - 10, 5, "wrap", now=0.0)
+        assert cache.probe(MAX_KEY - 5, now=1.0) == "wrap"
+
+    def test_stale_probe_then_reinsert_recovers(self):
+        cache = LookupCache(ttl=100.0)
+        cache.insert(10, 30, "old", now=0.0)
+        assert cache.probe(20, now=150.0) is None  # expired => dropped
+        cache.insert(10, 30, "new", now=150.0)
+        assert cache.probe(20, now=151.0) == "new"
+        assert len(cache) == 1
+
+
 class TestLocalityAdvantage:
     def test_clustered_keys_hit_after_one_lookup(self):
         """The D2 effect: one cached range serves a whole directory."""
