@@ -38,6 +38,22 @@ def test_ring_successor_lookup(benchmark):
     benchmark(lookup_many)
 
 
+def test_ring_replica_group_lookup(benchmark):
+    """Replay hot path: replica-group resolution for a recurring key set.
+
+    Replay loops resolve the same block keys over and over between
+    membership changes, which is exactly what the version-keyed successor
+    memo accelerates."""
+    ring, rng = build_ring(1000)
+    keys = [rng.randrange(KEY_SPACE) for _ in range(512)]
+
+    def group_many():
+        for key in keys:
+            ring.successors(key, 4)
+
+    benchmark(group_many)
+
+
 def test_routing_hops(benchmark):
     ring, rng = build_ring(1000)
     keys = [rng.randrange(KEY_SPACE) for _ in range(64)]

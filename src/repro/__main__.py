@@ -6,15 +6,20 @@ Usage::
     python -m repro fig3                 # one experiment
     python -m repro table2 fig7 fig16    # several
     python -m repro all                  # the whole evaluation (minutes)
+    python -m repro --jobs 4 fig9 fig10  # grid cells across 4 processes
 
 Each experiment runs at the laptop scale recorded in EXPERIMENTS.md and
 prints the same rows/series the paper reports.  Heavy simulation matrices
-are shared between experiments within one invocation.
+are shared between experiments within one invocation; ``--jobs N`` (or
+``$REPRO_JOBS``) fans their cells out over N worker processes without
+changing any row, and ``$REPRO_RUN_CACHE`` persists cell results across
+invocations (see docs/performance.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, Tuple
@@ -205,7 +210,22 @@ def main(argv=None) -> int:
         default=["list"],
         help="experiment names (see `list`), or `all`",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation grids "
+        "(0 = one per CPU; default $REPRO_JOBS, else serial)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        if args.jobs < 0:
+            parser.error(f"--jobs must be >= 0, got {args.jobs}")
+        from repro.runner import JOBS_ENV
+
+        os.environ[JOBS_ENV] = str(args.jobs)
     runners = _runners()
 
     requested = args.experiments or ["list"]

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Sequence, Tuple
 
 from repro.dht.keyspace import KEY_BYTES, key_from_bytes, key_to_bytes
@@ -214,12 +215,36 @@ def encode_path_key(
     ).encode()
 
 
+@lru_cache(maxsize=65536)
 def version_hash(content_version: int) -> int:
     """4-byte version field for the *content_version*-th write of a block.
 
     The paper stores a hash here so stale readers can address the exact
     version they saw; we hash a monotonically increasing counter, which
-    preserves that property while keeping tests deterministic.
+    preserves that property while keeping tests deterministic.  Memoized:
+    replay keys millions of blocks whose versions repeat heavily.
     """
     digest = hashlib.sha256(content_version.to_bytes(8, "big")).digest()
     return int.from_bytes(digest[:VERSION_BYTES], "big")
+
+
+_BLOCK_SHIFT = 8 * VERSION_BYTES
+_TRAILING_MASK = (1 << (8 * (BLOCK_NUMBER_BYTES + VERSION_BYTES))) - 1
+
+
+def compose_block_key(prefix_key: int, block_number: int, version: int) -> int:
+    """Fill the block-number/version fields of an already-encoded key.
+
+    *prefix_key* must be an :func:`encode_path_key` result built with
+    ``block_number=0, version=0`` (zeroed trailing fields); *version* is the
+    already-hashed 4-byte field value.  The result is bit-identical to
+    re-encoding the full 64-byte key, without redoing the volume/slot/
+    remainder packing — key schemes hoist the prefix out of per-block loops.
+    """
+    if prefix_key & _TRAILING_MASK:
+        raise KeyEncodingError("prefix key must have zero block/version fields")
+    if not 0 <= block_number <= MAX_BLOCK_NUMBER:
+        raise KeyEncodingError(f"block number {block_number} out of range")
+    if not 0 <= version <= MAX_VERSION:
+        raise KeyEncodingError(f"version {version} out of range")
+    return prefix_key | (block_number << _BLOCK_SHIFT) | version

@@ -209,16 +209,18 @@ class Deployment:
         node = self.fs.namespace.resolve_file(path)
         if length is None or length <= 0:
             length = node.size
+        # One key maker per file: the per-file prefix (volume/slot/identity
+        # encoding) is computed once instead of once per block.
+        key_for = self.fs.scheme.file_key_maker(node)
         fetches: List[Tuple[int, int]] = [
-            (self.fs.scheme.file_block_key(node, 0, node.version), inode_size(node.size))
+            (key_for(0, node.version), inode_size(node.size))
         ]
         if node.size > INLINE_DATA_THRESHOLD and length > 0:
             sizes = data_block_sizes(node.size)
+            block_versions = node.block_versions
             for number in blocks_covering(offset, length, node.size):
-                version = node.block_versions.get(number, node.version)
-                fetches.append(
-                    (self.fs.scheme.file_block_key(node, number, version), sizes[number - 1])
-                )
+                version = block_versions.get(number, node.version)
+                fetches.append((key_for(number, version), sizes[number - 1]))
         return fetches
 
     # ------------------------------------------------------------------

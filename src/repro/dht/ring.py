@@ -25,6 +25,13 @@ class RingError(Exception):
     """Raised on invalid membership operations (duplicate joins, etc.)."""
 
 
+#: Cap on the hot-path lookup memos below.  Replay loops resolve the same
+#: block keys millions of times between membership changes, but a long
+#: churn-free replay over a huge key population must not grow the memo
+#: without bound; on overflow the memo is simply dropped and rebuilt.
+_MEMO_MAX = 1 << 17
+
+
 class Ring:
     """Sorted ring of named nodes supporting O(log n) successor lookup."""
 
@@ -33,6 +40,11 @@ class Ring:
         self._names: List[str] = []          # names parallel to _ids
         self._position: Dict[str, int] = {}  # name -> current ring position
         self._version = 0                    # bumped on every membership change
+        # key -> owner index and (owner index, count) -> replica group,
+        # valid only while _memo_version == _version (see successor_index).
+        self._memo_version = -1
+        self._owner_memo: Dict[int, int] = {}
+        self._group_memo: Dict[Tuple[int, int], List[str]] = {}
 
     @property
     def version(self) -> int:
@@ -133,12 +145,26 @@ class Ring:
         return self._names[index]
 
     def successor_index(self, key: int) -> int:
-        """Index (into ring order) of the owner of *key*."""
+        """Index (into ring order) of the owner of *key*.
+
+        Memoized per membership generation: between ring changes the replay
+        loops resolve the same keys over and over, so a repeat lookup is one
+        dict probe instead of a bisect over the position list.
+        """
         if not self._ids:
             raise RingError("ring is empty")
-        validate_key(key)
-        index = bisect.bisect_left(self._ids, key)
-        return index % len(self._ids)
+        if self._memo_version != self._version:
+            self._owner_memo.clear()
+            self._group_memo.clear()
+            self._memo_version = self._version
+        index = self._owner_memo.get(key)
+        if index is None:
+            validate_key(key)
+            index = bisect.bisect_left(self._ids, key) % len(self._ids)
+            if len(self._owner_memo) >= _MEMO_MAX:
+                self._owner_memo.clear()
+            self._owner_memo[key] = index
+        return index
 
     def successor(self, key: int) -> str:
         """Name of the node that owns *key* (its immediate successor)."""
@@ -148,13 +174,19 @@ class Ring:
         """The *count* distinct nodes clockwise from *key* (replica group).
 
         Returns fewer than *count* names when the ring is smaller than
-        *count*.
+        *count*.  Replica groups are memoized by (owner index, count) — all
+        keys in one primary arc share one cached group — and invalidated
+        with the owner memo whenever membership changes.
         """
-        if not self._ids:
-            raise RingError("ring is empty")
-        start = self.successor_index(key)
-        size = len(self._ids)
-        return [self._names[(start + i) % size] for i in range(min(count, size))]
+        start = self.successor_index(key)  # validates key, refreshes memos
+        entry = self._group_memo.get((start, count))
+        if entry is None:
+            size = len(self._ids)
+            entry = [self._names[(start + i) % size] for i in range(min(count, size))]
+            if len(self._group_memo) >= _MEMO_MAX:
+                self._group_memo.clear()
+            self._group_memo[(start, count)] = entry
+        return entry[:]  # callers may mutate their copy; the memo stays intact
 
     def predecessor_of(self, name: str) -> str:
         """Name of the node immediately counter-clockwise of *name*."""
@@ -188,13 +220,11 @@ class Ring:
         immediate predecessors, i.e. the arc ``(pred^replicas(name), name]``.
         """
         node_id = self._require(name)
-        back = name
-        steps = min(replicas, len(self._ids)) - 0
-        for _ in range(min(replicas, len(self._ids))):
-            back = self.predecessor_of(back)
-        if steps >= len(self._ids):
+        size = len(self._ids)
+        if replicas >= size:
             return node_id, node_id  # whole ring
-        return self.position_of(back), node_id
+        index = bisect.bisect_left(self._ids, node_id)
+        return self._ids[(index - replicas) % size], node_id
 
     def _require(self, name: str) -> int:
         try:

@@ -2,18 +2,11 @@
 
 from __future__ import annotations
 
-import random
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.analysis.availability import (
-    AvailabilityResult,
-    ReplayLog,
-    evaluate_tasks,
-    matching_failure_trace,
-    run_availability_replay,
-)
+from repro.analysis.availability import AvailabilityResult
 from repro.experiments import common
-from repro.experiments.workload_cache import harvard_trace
+from repro.runner import run_cells
 from repro.sim.failures import FailureTraceConfig
 from repro.workloads.trace import SECONDS_PER_DAY
 
@@ -45,31 +38,39 @@ def availability_matrix(
     days: float = common.AVAIL_TRACE_DAYS,
     regeneration_delay: float = 2 * 3600.0,
     seed: int = common.SEED,
+    jobs: Optional[int] = None,
 ) -> Dict[Tuple[str, float, int], AvailabilityResult]:
     """All (system, inter, trial) availability results, memoized.
 
     Each trial re-seeds node IDs (as in the paper) and its failure trace,
     so rare correlated events are sampled broadly.  The expensive replay
-    runs once per (system, trial); the *inter* sweep reuses it.
+    runs once per (system, trial) cell; the *inter* sweep reuses it inside
+    the cell.  Cells execute through :mod:`repro.runner` (disk cache +
+    optional worker processes); ``jobs`` never changes the results.
     """
 
     def compute() -> Dict[Tuple[str, float, int], AvailabilityResult]:
-        trace = harvard_trace(users=users, days=days, seed=seed)
+        cells = [
+            {
+                "system": system,
+                "trial": trial,
+                "users": users,
+                "days": days,
+                "n_nodes": n_nodes,
+                "regeneration_delay": regeneration_delay,
+                "inters": tuple(inters),
+                "seed": seed,
+            }
+            for trial in range(trials)
+            for system in systems
+        ]
+        values = run_cells(
+            "availability", cells, jobs=jobs, metrics_name="runner_availability"
+        )
         results: Dict[Tuple[str, float, int], AvailabilityResult] = {}
-        for trial in range(trials):
-            failures = matching_failure_trace(
-                n_nodes, random.Random(seed + 100 * trial), harsh_failure_config(days)
-            )
-            for system in systems:
-                log = run_availability_replay(
-                    trace,
-                    failures,
-                    system,
-                    trial=trial,
-                    regeneration_delay=regeneration_delay,
-                )
-                for inter in inters:
-                    results[(system, inter, trial)] = evaluate_tasks(trace, log, inter)
+        for cell, by_inter in zip(cells, values):
+            for inter, result in by_inter.items():
+                results[(cell["system"], inter, cell["trial"])] = result
         return results
 
     return common.cached(

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.analysis.balance import BalanceResult, run_harvard_balance, run_webcache_balance
+from repro.analysis.balance import BalanceResult
 from repro.experiments import common
-from repro.experiments.workload_cache import harvard_trace, web_trace
+from repro.runner import run_cells
 
 HARVARD_SYSTEMS = ("d2", "traditional", "traditional-file", "traditional+merc")
 WEBCACHE_SYSTEMS = ("d2", "traditional")
@@ -19,13 +19,19 @@ def harvard_balance_matrix(
     users: int = common.TRACE_USERS,
     days: float = common.BALANCE_TRACE_DAYS,
     seed: int = common.SEED,
+    jobs: Optional[int] = None,
 ) -> Dict[str, BalanceResult]:
     def compute() -> Dict[str, BalanceResult]:
-        trace = harvard_trace(users=users, days=days, seed=seed)
-        return {
-            system: run_harvard_balance(trace, system, n_nodes=n_nodes, seed=seed)
+        cells = [
+            {"system": system, "n_nodes": n_nodes, "users": users,
+             "days": days, "seed": seed}
             for system in systems
-        }
+        ]
+        values = run_cells(
+            "harvard-balance", cells, jobs=jobs,
+            metrics_name="runner_harvard_balance",
+        )
+        return {cell["system"]: value for cell, value in zip(cells, values)}
 
     return common.cached(
         ("harvard-balance", tuple(systems), n_nodes, users, days, seed), compute
@@ -38,13 +44,18 @@ def webcache_balance_matrix(
     n_nodes: int = common.BALANCE_NODES,
     days: float = common.BALANCE_TRACE_DAYS,
     seed: int = common.SEED,
+    jobs: Optional[int] = None,
 ) -> Dict[str, BalanceResult]:
     def compute() -> Dict[str, BalanceResult]:
-        trace = web_trace(days=days, seed=seed)
-        return {
-            system: run_webcache_balance(trace, system, n_nodes=n_nodes, seed=seed)
+        cells = [
+            {"system": system, "n_nodes": n_nodes, "days": days, "seed": seed}
             for system in systems
-        }
+        ]
+        values = run_cells(
+            "webcache-balance", cells, jobs=jobs,
+            metrics_name="runner_webcache_balance",
+        )
+        return {cell["system"]: value for cell, value in zip(cells, values)}
 
     return common.cached(
         ("webcache-balance", tuple(systems), n_nodes, days, seed), compute

@@ -4,10 +4,9 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
-from repro.analysis.performance import PerformanceResult, run_performance
+from repro.analysis.performance import PerformanceResult
 from repro.experiments import common
-from repro.experiments.workload_cache import harvard_trace
-from repro.workloads.scale import copies_for_size, replicate_filesystem
+from repro.runner import run_cells
 
 PerfKey = Tuple[str, str, int, float]  # (system, mode, n_nodes, bandwidth_kbps)
 
@@ -54,6 +53,7 @@ def performance_matrix(
     n_windows: int = common.PERF_WINDOWS,
     scale_with_size: bool = True,
     seed: int = common.SEED,
+    jobs: Optional[int] = None,
 ) -> Dict[PerfKey, PerformanceResult]:
     """All performance runs for the evaluation grid, memoized.
 
@@ -61,32 +61,41 @@ def performance_matrix(
     different projections of the same grid, as in the paper.  With
     ``scale_with_size`` the stored file system is replicated so per-node
     data stays constant across sizes (Section 9.1's methodology).
+
+    Cells execute through :mod:`repro.runner`: they are served from the
+    on-disk result cache when ``$REPRO_RUN_CACHE`` is set, and computed in
+    ``jobs`` worker processes (default ``$REPRO_JOBS`` / serial) otherwise.
+    ``jobs`` never changes the rows — only how fast they arrive — so it is
+    deliberately absent from the memo key.
     """
 
     def compute() -> Dict[PerfKey, PerformanceResult]:
-        base_trace = harvard_trace(users=users, days=days, seed=seed)
         base_size = min(node_sizes)
-        results: Dict[PerfKey, PerformanceResult] = {}
-        for n_nodes in node_sizes:
-            if scale_with_size:
-                trace = replicate_filesystem(
-                    base_trace, copies_for_size(base_size, n_nodes)
-                )
-            else:
-                trace = base_trace
-            for bandwidth in bandwidths_kbps:
-                for system in systems:
-                    for mode in modes:
-                        results[(system, mode, n_nodes, bandwidth)] = run_performance(
-                            trace,
-                            system,
-                            mode=mode,
-                            n_nodes=n_nodes,
-                            bandwidth_kbps=bandwidth,
-                            n_windows=n_windows,
-                            seed=seed,
-                        )
-        return results
+        cells = [
+            {
+                "system": system,
+                "mode": mode,
+                "n_nodes": n_nodes,
+                "bandwidth_kbps": bandwidth,
+                "users": users,
+                "days": days,
+                "n_windows": n_windows,
+                "scale_with_size": scale_with_size,
+                "base_size": base_size,
+                "seed": seed,
+            }
+            for n_nodes in node_sizes
+            for bandwidth in bandwidths_kbps
+            for system in systems
+            for mode in modes
+        ]
+        values = run_cells(
+            "performance", cells, jobs=jobs, metrics_name="runner_performance"
+        )
+        return {
+            (cell["system"], cell["mode"], cell["n_nodes"], cell["bandwidth_kbps"]): value
+            for cell, value in zip(cells, values)
+        }
 
     return common.cached(
         (

@@ -19,9 +19,9 @@ hashes) plus block number and version — to a 64-byte ring key:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Tuple
+from typing import Callable, Tuple
 
-from repro.core.keys import encode_path_key, version_hash, volume_id
+from repro.core.keys import compose_block_key, encode_path_key, version_hash, volume_id
 from repro.dht.consistent_hashing import hashed_key
 from repro.fs.namespace import Directory, FileNode
 
@@ -55,6 +55,17 @@ class KeyScheme(ABC):
     def root_key(self) -> int:
         """Key of the volume's root block (stable; updated in place)."""
 
+    def file_key_maker(self, node: FileNode) -> Callable[[int, int], int]:
+        """Per-file key function ``(block_number, version) -> key``.
+
+        Keys every block of one file without redoing the per-file work
+        (prefix encoding, identity hashing) on each call — the replay hot
+        path keys every block of every read.  The default defers to
+        :meth:`file_block_key`; schemes override it with a hoisted prefix.
+        Results are always identical to calling :meth:`file_block_key`.
+        """
+        return lambda block_number, version: self.file_block_key(node, block_number, version)
+
 
 class D2KeyScheme(KeyScheme):
     """Locality-preserving keys (the paper's contribution, Section 4.2)."""
@@ -83,6 +94,16 @@ class D2KeyScheme(KeyScheme):
             version=version_hash(version),
         )
 
+    def file_key_maker(self, node: FileNode) -> Callable[[int, int], int]:
+        # Encode the volume/slot/remainder prefix once; per block only the
+        # trailing block-number and version fields change.
+        prefix = encode_path_key(
+            self.volume, node.slot_path, overflow_components=node.overflow
+        )
+        return lambda block_number, version: compose_block_key(
+            prefix, block_number, version_hash(version)
+        )
+
     def root_key(self) -> int:
         # Block 0 / version 0 at the empty slot path: the volume's lowest
         # key, immediately before all of its contents on the ring.
@@ -100,6 +121,11 @@ class TraditionalKeyScheme(KeyScheme):
     def file_block_key(self, node: FileNode, block_number: int, version: int) -> int:
         ident = storage_identity(node.slot_path, node.overflow)
         return hashed_key(f"{self.volume_name}|{ident}|b{block_number}|v{version}")
+
+    def file_key_maker(self, node: FileNode) -> Callable[[int, int], int]:
+        # Build the volume|identity prefix string once per file.
+        prefix = f"{self.volume_name}|{storage_identity(node.slot_path, node.overflow)}"
+        return lambda block_number, version: hashed_key(f"{prefix}|b{block_number}|v{version}")
 
     def directory_block_key(self, directory: Directory, block_number: int, version: int) -> int:
         ident = storage_identity(directory.slot_path, directory.overflow)
@@ -126,6 +152,11 @@ class TraditionalFileKeyScheme(KeyScheme):
     def file_block_key(self, node: FileNode, block_number: int, version: int) -> int:
         ident = storage_identity(node.slot_path, node.overflow)
         return hashed_key(f"{self.volume_name}|{ident}|file")
+
+    def file_key_maker(self, node: FileNode) -> Callable[[int, int], int]:
+        # One key per file: hash it once, every block reuses it.
+        key = self.file_block_key(node, 0, 0)
+        return lambda _block_number, _version: key
 
     def directory_block_key(self, directory: Directory, block_number: int, version: int) -> int:
         ident = storage_identity(directory.slot_path, directory.overflow)

@@ -1,0 +1,138 @@
+"""Content-addressed on-disk cache for experiment grid cells.
+
+Every cell of an experiment run matrix (one ``(system, mode, n_nodes,
+bandwidth)`` performance run, one balance replay, one availability trial)
+is a deterministic function of its parameter bundle, so its result can be
+cached by content address: the key is a stable hash of the full parameter
+tuple plus a schema version, the payload is the pickled result.
+
+Layout::
+
+    $REPRO_RUN_CACHE/
+      v1/                      # SCHEMA_VERSION — bump to orphan old entries
+        performance/
+          <sha256 of (version, kind, params)>.pkl
+        availability/
+          ...
+
+The cache is *disabled* unless ``$REPRO_RUN_CACHE`` names a directory (a
+conventional choice is ``~/.cache/repro``; ``~`` is expanded) or a
+:class:`RunCache` is constructed with an explicit root — when unset, every
+``get`` is a miss and results live only in the per-process memo
+(:func:`repro.experiments.common.cached`), exactly the pre-runner
+behavior.  All I/O degrades cleanly: corrupted or truncated entries are
+deleted and recomputed, write failures are counted and ignored.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent runs sharing
+one cache directory never observe partial payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Any, Mapping, Optional, Tuple
+
+#: Environment variable naming the cache root directory.
+CACHE_ENV = "REPRO_RUN_CACHE"
+
+#: Bump whenever a cached result type changes shape (new dataclass fields,
+#: renamed metrics the analyses rely on, changed simulation semantics):
+#: old entries become unreachable instead of silently wrong.
+SCHEMA_VERSION = 1
+
+
+def cache_key(kind: str, params: Mapping[str, Any]) -> str:
+    """Stable content address of one grid cell.
+
+    Parameter order does not matter; values must have deterministic
+    ``repr`` (ints, floats, strings, bools, tuples thereof — what the cell
+    builders use).
+    """
+    canonical = (SCHEMA_VERSION, kind, tuple(sorted(params.items())))
+    return hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """Pickled cell results under a root directory; no-op when disabled."""
+
+    def __init__(self, root: Optional[str]) -> None:
+        self.root = root or None
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.write_errors = 0
+
+    @classmethod
+    def from_env(cls) -> "RunCache":
+        """Cache rooted at ``$REPRO_RUN_CACHE``; disabled when unset/empty."""
+        return cls(os.environ.get(CACHE_ENV) or None)
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def path_for(self, kind: str, params: Mapping[str, Any]) -> str:
+        if self.root is None:
+            raise ValueError("cache is disabled (no root directory)")
+        safe_kind = "".join(c if c.isalnum() or c in "-_" else "_" for c in kind)
+        return os.path.join(
+            os.path.expanduser(self.root),
+            f"v{SCHEMA_VERSION}",
+            safe_kind,
+            f"{cache_key(kind, params)}.pkl",
+        )
+
+    def get(self, kind: str, params: Mapping[str, Any]) -> Tuple[bool, Any]:
+        """``(hit, value)`` for one cell; corrupted entries become misses."""
+        if self.root is None:
+            self.misses += 1
+            return False, None
+        path = self.path_for(kind, params)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload["schema"] != SCHEMA_VERSION:
+                raise ValueError(f"schema mismatch: {payload['schema']!r}")
+            value = payload["value"]
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            # Truncated write, foreign file, stale schema: drop and recompute.
+            self.corrupt += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, kind: str, params: Mapping[str, Any], value: Any) -> Optional[str]:
+        """Store one cell result; returns its path (None if disabled/failed)."""
+        if self.root is None:
+            return None
+        path = self.path_for(kind, params)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "params": dict(params),  # kept for debugging/inspection
+            "value": value,
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            # The cache is an optimization; never fail the run over it.
+            self.write_errors += 1
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return None
+        return path

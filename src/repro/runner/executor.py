@@ -1,0 +1,183 @@
+"""Process-parallel grid executor with disk-cache short-circuiting.
+
+:func:`run_cells` is the one entry point the experiment matrices call: it
+resolves each cell from the cheapest source first — the on-disk result
+cache, then fresh computation, fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` when more than one
+worker is allowed.  Results come back in cell order and are identical
+whatever ``jobs`` is (see :mod:`repro.runner.cells` for the determinism
+contract), so every figure/table row is byte-identical between serial and
+parallel runs.
+
+Worker count resolution: explicit ``jobs`` argument, else ``$REPRO_JOBS``,
+else 1 (serial — today's behavior).  ``0`` means one worker per CPU.
+
+Each invocation records a :class:`RunnerStats` (retrievable via
+:func:`last_stats`) and, when metric emission is on
+(``$REPRO_METRICS_DIR``), writes a small ``runner_<kind>.json`` report.
+Its ``sim.events_fired`` counter sums the simulator work of *freshly
+computed* cells only, so a rerun that was fully served from the disk
+cache reports 0 — the "zero simulation work" check CI relies on.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.runner.cache import RunCache
+from repro.runner.cells import execute_cell
+
+#: Environment variable holding the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg, else ``$REPRO_JOBS``, else 1 (serial).
+
+    ``0`` (from either source) means one worker per CPU; unparsable
+    environment values fall back to serial.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+@dataclass
+class RunnerStats:
+    """What one :func:`run_cells` invocation did."""
+
+    kind: str
+    jobs: int
+    cells_total: int = 0
+    cells_cached: int = 0     # served from the disk cache
+    cells_computed: int = 0   # freshly simulated (serial or in workers)
+    events_fired: int = 0     # sim.events_fired summed over computed cells only
+    wall_seconds: float = 0.0
+    cache_dir: Optional[str] = None
+
+
+_LAST_STATS: Dict[str, RunnerStats] = {}
+_MOST_RECENT: Optional[RunnerStats] = None
+
+
+def last_stats(kind: Optional[str] = None) -> Optional[RunnerStats]:
+    """Stats of the most recent :func:`run_cells` call (optionally by kind)."""
+    if kind is not None:
+        return _LAST_STATS.get(kind)
+    return _MOST_RECENT
+
+
+def run_cells(
+    kind: str,
+    cells: Sequence[Mapping[str, Any]],
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+    metrics_name: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
+) -> List[Any]:
+    """Evaluate all *cells* of one *kind*; returns results in cell order.
+
+    Cache hits never enter the pool; misses run serially when ``jobs <= 1``
+    (or only one cell is pending), otherwise in worker processes.  Freshly
+    computed results are written back to the cache in the parent, so one
+    writer per cell keeps concurrent grids race-free.
+    """
+    global _MOST_RECENT
+    started = time.perf_counter()
+    jobs = resolve_jobs(jobs)
+    cache = RunCache.from_env() if cache is None else cache
+    stats = RunnerStats(
+        kind=kind, jobs=jobs, cells_total=len(cells), cache_dir=cache.root
+    )
+
+    results: List[Any] = [None] * len(cells)
+    pending: List[int] = []
+    for index, cell in enumerate(cells):
+        hit, value = cache.get(kind, cell)
+        if hit:
+            results[index] = value
+            stats.cells_cached += 1
+        else:
+            pending.append(index)
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = [
+                    pool.submit(execute_cell, kind, dict(cells[i])) for i in pending
+                ]
+                computed = [future.result() for future in futures]
+        else:
+            computed = [execute_cell(kind, cells[i]) for i in pending]
+        for index, value in zip(pending, computed):
+            results[index] = value
+            cache.put(kind, cells[index], value)
+            stats.cells_computed += 1
+            stats.events_fired += _events_fired(value)
+
+    stats.wall_seconds = time.perf_counter() - started
+    _LAST_STATS[kind] = stats
+    _MOST_RECENT = stats
+    _emit_stats_report(stats, metrics_name, metrics_dir)
+    return results
+
+
+def _events_fired(result: Any) -> int:
+    """``sim.events_fired`` accumulated inside one freshly computed result.
+
+    Results carry their deployment's observability snapshot in a
+    ``metrics`` attribute; availability cells return a mapping of such
+    results.  Results without a snapshot contribute 0.
+    """
+    if isinstance(result, Mapping):
+        return sum(_events_fired(value) for value in result.values())
+    metrics = getattr(result, "metrics", None)
+    if isinstance(metrics, Mapping):
+        counters = metrics.get("counters")
+        if isinstance(counters, Mapping):
+            return int(counters.get("sim.events_fired", 0))
+    return 0
+
+
+def _emit_stats_report(
+    stats: RunnerStats,
+    metrics_name: Optional[str],
+    metrics_dir: Optional[str],
+) -> Optional[str]:
+    """Write one ``<metrics_name>.json`` runner report (when emission is on)."""
+    if not metrics_name:
+        return None
+    from repro.experiments import common
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.report import snapshot_run
+
+    directory = common.metrics_out_dir(metrics_dir)
+    if not directory:
+        return None
+    registry = MetricsRegistry()
+    registry.counter("runner.cells_total").inc(stats.cells_total)
+    registry.counter("runner.cells_cached").inc(stats.cells_cached)
+    registry.counter("runner.cells_computed").inc(stats.cells_computed)
+    registry.counter("sim.events_fired").inc(stats.events_fired)
+    registry.gauge("runner.jobs").set(stats.jobs)
+    registry.gauge("runner.wall_seconds").set(stats.wall_seconds)
+    entry = snapshot_run({"kind": stats.kind, "jobs": stats.jobs}, registry)
+    return common.emit_metrics_report(
+        metrics_name,
+        [entry],
+        {"kind": stats.kind, "jobs": stats.jobs, "cache_dir": stats.cache_dir},
+        directory,
+    )

@@ -61,9 +61,13 @@ class Simulator:
         # counts fired/cancelled events so a metrics snapshot can report how
         # much simulated work a run performed.  Kept duck-typed so the
         # kernel stays dependency-free.
-        self._fired_counter = registry.counter("sim.events_fired") if registry else None
+        # `is not None`, not truthiness: MetricsRegistry defines __len__, so
+        # a brand-new (empty) registry is falsy.
+        self._fired_counter = (
+            registry.counter("sim.events_fired") if registry is not None else None
+        )
         self._cancelled_counter = (
-            registry.counter("sim.events_cancelled") if registry else None
+            registry.counter("sim.events_cancelled") if registry is not None else None
         )
 
     @property

@@ -108,6 +108,30 @@ class TestTraditionalFileScheme:
         assert scheme.file_block_key(a, 0, 1) != scheme.file_block_key(b, 0, 1)
 
 
+class TestFileKeyMaker:
+    """The prefix-reusing fast path must agree with file_block_key exactly."""
+
+    @pytest.mark.parametrize(
+        "scheme_name", ["d2", "traditional", "traditional-file"]
+    )
+    def test_matches_file_block_key(self, scheme_name):
+        ns, (a, b), other = sample_namespace()
+        scheme = make_scheme(scheme_name, "vol")
+        for node in (a, b, other):
+            key_for = scheme.file_key_maker(node)
+            for block in (0, 1, 2, 7, 255):
+                for version in (0, 1, 2, 9):
+                    assert key_for(block, version) == \
+                        scheme.file_block_key(node, block, version), \
+                        (scheme_name, block, version)
+
+    def test_keys_stay_in_keyspace(self):
+        ns, (a, _), _ = sample_namespace()
+        for scheme_name in ("d2", "traditional", "traditional-file"):
+            key_for = make_scheme(scheme_name, "vol").file_key_maker(a)
+            assert 0 <= key_for(3, 2) < KEY_SPACE
+
+
 class TestStorageIdentity:
     def test_distinct_paths_differ(self):
         assert storage_identity((1, 2), ()) != storage_identity((1, 3), ())

@@ -157,6 +157,67 @@ class TestReplicaRange:
         assert lo == hi  # full ring
 
 
+class TestLookupMemo:
+    def test_repeat_lookup_consistent(self):
+        ring = make_ring([10, 20, 30])
+        assert ring.successor(15) == ring.successor(15) == "n1"
+
+    def test_memo_invalidated_by_join(self):
+        ring = make_ring([10, 30])
+        assert ring.successor(15) == "n1"
+        assert ring.successors(15, 2) == ["n1", "n0"]
+        ring.join("n2", 20)  # now owns (10, 20]
+        assert ring.successor(15) == "n2"
+        assert ring.successors(15, 2) == ["n2", "n1"]
+
+    def test_memo_invalidated_by_leave(self):
+        ring = make_ring([10, 20, 30])
+        assert ring.successor(15) == "n1"
+        ring.leave("n1")
+        assert ring.successor(15) == "n2"
+
+    def test_memo_invalidated_by_change_position(self):
+        ring = make_ring([10, 20, 30])
+        assert ring.successor(22) == "n2"
+        ring.change_position("n0", 25)
+        assert ring.successor(22) == "n0"
+
+    def test_successors_returns_fresh_list(self):
+        ring = make_ring([10, 20, 30])
+        group = ring.successors(15, 2)
+        group.append("tampered")
+        assert ring.successors(15, 2) == ["n1", "n2"]
+
+    def test_memoized_matches_bisect_under_churn(self):
+        rng = random.Random(11)
+        ring = make_ring(sorted({rng.randrange(KEY_SPACE) for _ in range(16)}))
+        for round_ in range(4):
+            probes = [rng.randrange(KEY_SPACE) for _ in range(100)]
+            for key in probes + probes:  # second pass hits the memo
+                owner = ring.successor(key)
+                assert ring.owns(owner, key)
+            ring.join(f"extra{round_}", ring.free_position_at(rng.randrange(KEY_SPACE)))
+
+
+class TestReplicaRangeEquivalence:
+    def _walk_reference(self, ring, name, replicas):
+        # The pre-optimization implementation: replicas predecessor hops.
+        if replicas >= len(ring):
+            pos = ring.position_of(name)
+            return pos, pos
+        start = name
+        for _ in range(replicas):
+            start = ring.predecessor_of(start)
+        return ring.position_of(start), ring.position_of(name)
+
+    def test_matches_predecessor_walk(self):
+        ring = make_ring([10, 20, 30, 40, 50])
+        for name in ring.names():
+            for replicas in (0, 1, 2, 3, 4, 5, 7):
+                assert ring.replica_range_of(name, replicas) == \
+                    self._walk_reference(ring, name, replicas), (name, replicas)
+
+
 class TestLoadSplitPoint:
     def test_median_of_range(self):
         split = load_split_point([12, 14, 16, 18], 10, 20)
