@@ -69,6 +69,7 @@ class PerformanceResult:
     cache_misses: int
     per_user_miss_rate: Dict[str, float]
     metrics: Optional[Dict[str, object]] = None  # deployment observability snapshot
+    trace: Optional[List[Dict[str, object]]] = None  # exported span dicts
 
     @property
     def messages_per_node(self) -> float:
@@ -156,7 +157,8 @@ class PerformanceHarness:
         self.bandwidth = bandwidth_bps
         self.rng = rng
         self.buffer_ttl = buffer_ttl
-        self.transport = TcpTransport(latency)
+        self.spans = deployment.spans
+        self.transport = TcpTransport(latency, spans=deployment.spans)
         self.server_links: Dict[str, TokenBucket] = {}
         self.clients: Dict[str, _Client] = {}
         self.lookup_messages = 0
@@ -219,43 +221,96 @@ class PerformanceHarness:
             return 0.0
         client.buffer_cache[ident] = (now, key)
 
+        spans = self.spans
+        root = spans.start_trace("fetch", now, user=user, key=key, bytes=nbytes) if spans else None
+
         ring = self.deployment.ring
         owner = ring.successor(key)
         lookup_latency = 0.0
-        cache_owner = client.lookup_cache.probe(key, now)
+        lookup_span = spans.start_span("lookup", now, root) if root else None
+        cache_owner = client.lookup_cache.probe(key, now, span=lookup_span)
         self.lookups += 1
         if cache_owner is None:
-            lookup_latency = self._routed_lookup(client.node, key, now)
+            lookup_latency = self._routed_lookup(client.node, key, now, parent=lookup_span)
             self._cache_owner_range(client, owner, now)
         elif cache_owner != owner:
             # Stale entry: one wasted round trip, then a real lookup.
             lookup_latency = self.latency.rtt(client.node, cache_owner)
-            client.lookup_cache.invalidate(key)
-            lookup_latency += self._routed_lookup(client.node, key, now)
+            if lookup_span:
+                stale_span = spans.start_span(
+                    "lookup.stale_probe", now, lookup_span, node=cache_owner
+                )
+                spans.finish(stale_span, now + lookup_latency)
+            client.lookup_cache.invalidate(key, now, span=lookup_span)
+            lookup_latency += self._routed_lookup(
+                client.node, key, now + lookup_latency, parent=lookup_span
+            )
             self._cache_owner_range(client, owner, now)
+        if lookup_span:
+            spans.finish(lookup_span, now + lookup_latency)
 
         # Download from a random replica (Section 9.3: D2 selects replicas
         # randomly; baselines do the same for a fair comparison).
         replicas = ring.successors(key, self.deployment.config.replica_count)
         server = replicas[self.rng.randrange(len(replicas))]
-        arrival = now + lookup_latency + self.latency.one_way(client.node, server)
+        download_start = now + lookup_latency
+        arrival = download_start + self.latency.one_way(client.node, server)
         link = self._server_link(server)
         contention_done = link.reserve(arrival, nbytes)
+        transfer_span = None
+        if root:
+            transfer_span = spans.start_span(
+                "transfer", download_start, root, server=server, bytes=nbytes
+            )
+            request_span = spans.start_span(
+                "net.request", download_start, transfer_span, frm=client.node, to=server
+            )
+            spans.finish(request_span, arrival)
         result = self.transport.transfer(
-            server, client.node, nbytes, arrival, rate_bytes_per_sec=self.bandwidth
+            server, client.node, nbytes, arrival,
+            rate_bytes_per_sec=self.bandwidth, parent=transfer_span,
         )
-        finish = max(arrival + result.duration, contention_done + self.latency.one_way(server, client.node))
+        queued_finish = contention_done + self.latency.one_way(server, client.node)
+        finish = max(arrival + result.duration, queued_finish)
+        if transfer_span:
+            if queued_finish > arrival + result.duration:
+                queue_span = spans.start_span(
+                    "queue.wait", arrival, transfer_span, server=server
+                )
+                spans.finish(queue_span, contention_done)
+                response_span = spans.start_span(
+                    "net.response", contention_done, transfer_span,
+                    frm=server, to=client.node,
+                )
+                spans.finish(response_span, finish)
+            spans.finish(transfer_span, finish)
+        if root:
+            spans.finish(root, finish)
         self._h_fetch_latency.observe(finish - now)
         return finish - now
 
-    def _routed_lookup(self, source: str, key: int, now: float) -> float:
+    def _routed_lookup(self, source: str, key: int, now: float, parent=None) -> float:
         """Recursive lookup latency: hop legs plus the response leg."""
-        result = route(self.deployment.ring, source, key)
+        spans = self.spans
+        route_span = spans.start_span("dht.route", now, parent) if parent else None
+        result = route(
+            self.deployment.ring, source, key,
+            tracer=spans if route_span else None, parent=route_span,
+            now=now, leg_time=self.latency.one_way,
+        )
         self.lookup_messages += result.messages
         self._h_route_messages.observe(result.messages)
         latency = self.latency.path_latency(result.path)
-        latency += self.latency.one_way(result.path[-1], source)
-        return latency
+        response_leg = self.latency.one_way(result.path[-1], source)
+        if route_span:
+            route_span.annotate(hops=result.hops, owner=result.owner)
+            response_span = spans.start_span(
+                "dht.response", now + latency, route_span,
+                frm=result.path[-1], to=source,
+            )
+            spans.finish(response_span, now + latency + response_leg)
+            spans.finish(route_span, now + latency + response_leg)
+        return latency + response_leg
 
     def _cache_owner_range(self, client: _Client, owner: str, now: float) -> None:
         lo, hi = self.deployment.ring.range_of(owner)
@@ -368,6 +423,7 @@ def run_performance(
         cache_misses=misses,
         per_user_miss_rate=per_user_rates,
         metrics=deployment.observability_snapshot(),
+        trace=deployment.spans.to_dicts() if deployment.spans else None,
     )
 
 

@@ -135,15 +135,19 @@ class LookupCache:
         if self._shared is not None:
             self._shared._counters[field].add(amount)
 
-    def probe(self, key: int, now: float) -> Optional[str]:
+    def probe(self, key: int, now: float, span=None) -> Optional[str]:
         """Node caching says owns *key*, or None on a miss.
 
         An expired entry is dropped on sight, so it can never mask a live
-        overlapping entry at the same range end.
+        overlapping entry at the same range end.  With a *span* (a live
+        :class:`repro.obs.spans.Span`), the outcome is annotated onto it —
+        a null/absent span costs one truthiness check.
         """
         entry = self._find(key)
         if entry is not None and entry.expires_at > now:
             self._count("hits")
+            if span:
+                span.annotate(cache="hit", node=entry.node)
             if self._tracer is not None:
                 self._tracer.emit(LOOKUP_HIT, now, key=key, node=entry.node)
             return entry.node
@@ -151,6 +155,8 @@ class LookupCache:
             self._remove_entry(entry)
             self._count("evictions")
         self._count("misses")
+        if span:
+            span.annotate(cache="miss")
         if self._tracer is not None:
             self._tracer.emit(LOOKUP_MISS, now, key=key)
         return None
@@ -171,12 +177,14 @@ class LookupCache:
             self._entries.insert(index, entry)
         self._count("inserts")
 
-    def invalidate(self, key: int, now: Optional[float] = None) -> None:
+    def invalidate(self, key: int, now: Optional[float] = None, span=None) -> None:
         """Drop the entry covering *key* (used after a stale-entry fault)."""
         entry = self._find(key)
         if entry is not None:
             self._remove_entry(entry)
             self._count("stale_hits")
+            if span:
+                span.annotate(cache="stale", stale_node=entry.node)
             if self._tracer is not None:
                 self._tracer.emit(
                     LOOKUP_STALE,

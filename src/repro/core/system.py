@@ -48,6 +48,7 @@ from repro.fs.keyschemes import make_scheme
 from repro.fs.namespace import NamespaceError
 from repro.obs.events import NODE_JOIN, EventTracer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer as SpanTracer
 from repro.sim.engine import PeriodicTask, Simulator
 from repro.store.migration import StorageCoordinator
 from repro.workloads.trace import (
@@ -102,6 +103,9 @@ class Deployment:
         self.rng = random.Random(seed)
         self.metrics = MetricsRegistry()
         self.tracer = EventTracer()
+        # Span tracer: sampled per $REPRO_TRACE_SAMPLE (NullTracer at <= 0,
+        # so instrumented hot paths pay only a truthiness check).
+        self.spans = SpanTracer.from_env(events=self.tracer, seed=seed)
         self.sim = Simulator(registry=self.metrics)
         self.ring = Ring()
         self.node_names = [f"node{i:04d}" for i in range(n_nodes)]
@@ -117,6 +121,7 @@ class Deployment:
             replica_count=config.replica_count,
             registry=self.metrics,
             tracer=self.tracer,
+            spans=self.spans,
         )
         scheme_name = "traditional" if system == "traditional+merc" else system
         self.fs = DhtFileSystem(make_scheme(scheme_name, volume))
@@ -129,6 +134,7 @@ class Deployment:
                 rng=random.Random(seed + 1),
                 registry=self.metrics,
                 tracer=self.tracer,
+                spans=self.spans,
             )
         self._probe_task: Optional[PeriodicTask] = None
         self._lookup_caches: Dict[str, LookupCache] = {}
@@ -303,7 +309,7 @@ class Deployment:
         self.metrics.gauge("pointer.blocks").set(self.store.pointer_block_count())
         self.metrics.gauge("pointer.pending_ranges").set(len(self.store.pointer_table))
         self.metrics.gauge("sim.now").set(self.sim.now)
-        snapshot: Dict[str, object] = self.metrics.snapshot()
+        snapshot: Dict[str, object] = self.metrics.snapshot(include_reservoirs=True)
         snapshot["events"] = self.tracer.counts()
         return snapshot
 

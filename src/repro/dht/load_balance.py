@@ -126,6 +126,7 @@ class KargerRuhlBalancer:
         sampling: str = "membership",
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[EventTracer] = None,
+        spans=None,
     ) -> None:
         if threshold < 2.0:
             raise ValueError("threshold below 2 cannot converge (Karger-Ruhl requires t >= 4 for the proof)")
@@ -141,6 +142,7 @@ class KargerRuhlBalancer:
         # repro.dht.sampling), which a real node could actually execute.
         self._sampling = sampling
         self._tracer = tracer
+        self._spans = spans  # repro.obs.spans.Tracer; falsy when disabled
         # Membership snapshot reused across probes until the ring changes
         # (probe_round used to rebuild this O(n) list for every probe).
         self._members: List[str] = []
@@ -199,8 +201,30 @@ class KargerRuhlBalancer:
             else:
                 quiet += 1
                 if quiet >= quiet_rounds:
-                    return round_index + 1
+                    if self._confirmation_probe(now) is None:
+                        return round_index + 1
+                    quiet = 0
         return max_rounds
+
+    def _confirmation_probe(self, now: float) -> Optional[MoveRecord]:
+        """Deterministic convergence check behind a quiet streak.
+
+        Random probes can miss the one overloaded node for a whole quiet
+        streak (with n nodes the chance is (1 - 1/(n-1))**(n*quiet_rounds)
+        — small but real, and it silently ends :meth:`balance_until_stable`
+        on a fully imbalanced ring).  The trigger rule is monotone in the
+        load ratio, so probing the extreme pair directly settles it: if
+        min-load → max-load does not trigger, no pair can.
+        """
+        if len(self._ring) < 2:
+            return None
+        names = sorted(self._ring.names())
+        loads = {name: self._coordinator.primary_load(name) for name in names}
+        prober = min(names, key=loads.__getitem__)
+        target = max(names, key=loads.__getitem__)
+        if prober == target:
+            return None
+        return self._maybe_move(prober, target, now)
 
     # ------------------------------------------------------------------
 
@@ -246,7 +270,21 @@ class KargerRuhlBalancer:
             return None
         old_id = self._ring.position_of(prober)
         self.stats._counters["triggered"].inc()
-        self._coordinator.execute_move(prober, new_id)
+        move_span = None
+        if self._spans:
+            move_span = self._spans.start_trace(
+                "balance.move", now,
+                mover=prober, target=target,
+                mover_load=prober_load, target_load=target_load,
+            )
+        span_context = getattr(self._coordinator, "span_context", None)
+        if move_span and span_context is not None:
+            with span_context(move_span):
+                self._coordinator.execute_move(prober, new_id)
+        else:
+            self._coordinator.execute_move(prober, new_id)
+        if move_span:
+            self._spans.finish(move_span, now)
         record = MoveRecord(
             time=now,
             mover=prober,

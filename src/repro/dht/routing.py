@@ -20,7 +20,7 @@ hop is one network RTT leg in the recursive lookup) and the message count
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.dht.keyspace import KEY_BITS, distance, in_interval
 from repro.dht.ring import Ring
@@ -51,13 +51,28 @@ class LookupResult:
         return self.hops + 1
 
 
-def route(ring: Ring, source: str, key: int, *, max_hops: int = 4 * KEY_BITS) -> LookupResult:
+def route(
+    ring: Ring,
+    source: str,
+    key: int,
+    *,
+    max_hops: int = 4 * KEY_BITS,
+    tracer=None,
+    parent=None,
+    now: float = 0.0,
+    leg_time: Optional[Callable[[str, str], float]] = None,
+) -> LookupResult:
     """Route a lookup for *key* from node *source* over *ring*.
 
     Implements greedy finger routing: at each step the current node
     forwards to the finger (``successor(current + 2**i)`` for the largest
     ``i``) that lands inside the remaining arc ``(current, key)``, falling
     back to its immediate successor.  Terminates at the key's owner.
+
+    With a span *tracer* and a live *parent* span, one ``dht.hop`` child
+    span is emitted per hop leg, starting at *now* and advancing by
+    ``leg_time(from, to)`` per leg (zero-duration hops when no *leg_time*
+    is given).  A falsy tracer or parent costs one truthiness check.
     """
     if source not in ring:
         raise ValueError(f"source node {source!r} not in ring")
@@ -80,6 +95,14 @@ def route(ring: Ring, source: str, key: int, *, max_hops: int = 4 * KEY_BITS) ->
         hops += 1
         if hops > max_hops:
             raise RuntimeError("routing failed to converge; ring state is inconsistent")
+    if tracer and parent:
+        t = now
+        for index in range(len(path) - 1):
+            frm, to = path[index], path[index + 1]
+            leg = leg_time(frm, to) if leg_time is not None else 0.0
+            span = tracer.start_span("dht.hop", t, parent, frm=frm, to=to, hop=index)
+            t += leg
+            tracer.finish(span, t)
     return LookupResult(key=key, owner=owner, path=path)
 
 

@@ -508,6 +508,13 @@ def apply_ops(store, ops: Iterable[BlockOp]) -> Dict[str, int]:
     put_order: List[int] = []
     counters = {"put": 0, "get": 0, "remove": 0}
     removes: List[BlockOp] = []
+    # One root span per BlockOp batch (coordinator-owned tracer; test fakes
+    # without .spans/.sim simply skip tracing).
+    spans = getattr(store, "spans", None)
+    sim = getattr(store, "sim", None)
+    root = None
+    if spans and sim is not None:
+        root = spans.start_trace("fs.apply_ops", sim.now)
     for op in ops:
         counters[op.action] += op.size
         if op.action == "put":
@@ -527,4 +534,13 @@ def apply_ops(store, ops: Iterable[BlockOp]) -> Dict[str, int]:
             continue  # same flush wrote this key (shared traditional-file key)
         if op.key in store.directory:
             store.remove(op.key)
+    if root:
+        root.annotate(
+            put_bytes=counters["put"],
+            get_bytes=counters["get"],
+            remove_bytes=counters["remove"],
+            puts=len(put_order),
+            removes=len(seen_remove),
+        )
+        spans.finish(root, sim.now)
     return counters

@@ -14,13 +14,16 @@ Usage sketch::
     write_report(report, "demo.json")
 
 ``python -m repro.obs summary demo.json`` pretty-prints a report;
-``python -m repro.obs validate demo.json`` checks it against the schema.
-See ``docs/observability.md`` for the metric-name and event catalogs.
+``python -m repro.obs validate demo.json`` checks it against the schema;
+``python -m repro.obs trace spans.jsonl`` analyzes a span-trace export.
+See ``docs/observability.md`` for the metric-name, event, and span
+catalogs.
 """
 
 from repro.obs.events import (
     BALANCE_MOVE,
     BALANCE_PROBE,
+    BASE_EVENT_KINDS,
     EVENT_KINDS,
     LOOKUP_HIT,
     LOOKUP_MISS,
@@ -33,6 +36,17 @@ from repro.obs.events import (
     Event,
     EventError,
     EventTracer,
+    register_kind,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    SPAN_FINISH,
+    SPAN_START,
+    NullTracer,
+    Span,
+    SpanError,
+    Tracer,
+    validate_span_dict,
 )
 from repro.obs.metrics import (
     Counter,
@@ -55,6 +69,7 @@ from repro.obs.report import (
 __all__ = [
     "BALANCE_MOVE",
     "BALANCE_PROBE",
+    "BASE_EVENT_KINDS",
     "EVENT_KINDS",
     "LOOKUP_HIT",
     "LOOKUP_MISS",
@@ -62,9 +77,12 @@ __all__ = [
     "MIGRATION",
     "NODE_JOIN",
     "NODE_LEAVE",
+    "NULL_SPAN",
     "POINTER_CREATE",
     "POINTER_FLUSH",
     "SCHEMA",
+    "SPAN_FINISH",
+    "SPAN_START",
     "Counter",
     "Event",
     "EventError",
@@ -73,11 +91,17 @@ __all__ = [
     "Histogram",
     "MetricsError",
     "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "SpanError",
+    "Tracer",
     "build_report",
     "load_report",
+    "register_kind",
     "snapshot_run",
     "summarize",
     "totals",
     "validate_report",
+    "validate_span_dict",
     "write_report",
 ]

@@ -1,8 +1,11 @@
-"""CLI for metric reports: ``python -m repro.obs {summary,validate} FILE...``
+"""CLI for observability files: ``python -m repro.obs COMMAND FILE...``
 
-``summary`` validates then pretty-prints each report; ``validate`` only
-checks the schema.  Bare file arguments default to ``summary``.  Exit code
-is 0 when every file is valid, 1 otherwise (2 on usage errors).
+``summary`` validates then pretty-prints each metrics report; ``validate``
+only checks the report schema; ``trace`` analyzes a span-trace JSONL
+export (tree reconstruction, per-phase latency attribution, critical
+paths, slowest traces, text flamegraph — see ``python -m repro.obs trace
+--help``).  Bare file arguments default to ``summary``.  Exit code is 0
+when every file is valid, 1 otherwise (2 on usage errors).
 """
 
 from __future__ import annotations
@@ -17,19 +20,27 @@ from repro.obs.report import load_report, summarize, validate_report
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Summarize or validate repro metrics reports (JSON).",
+        description="Summarize/validate repro metrics reports (JSON) and "
+        "analyze span traces (JSONL).",
     )
     parser.add_argument(
         "command",
         nargs="?",
         default="summary",
-        help="'summary' (default) or 'validate'; a file path implies summary",
+        help="'summary' (default), 'validate', or 'trace'; a file path "
+        "implies summary",
     )
-    parser.add_argument("files", nargs="*", help="report JSON files")
+    parser.add_argument("files", nargs="*", help="report JSON / trace JSONL files")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        # The trace analyzer owns its richer flag set (--top, --flame, …).
+        from repro.obs.tracecli import main as trace_main
+
+        return trace_main(argv[1:])
     args = _parser().parse_args(argv)
     command, files = args.command, list(args.files)
     if command not in ("summary", "validate"):

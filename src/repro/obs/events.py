@@ -1,9 +1,13 @@
 """Structured event tracing: a bounded ring buffer of typed events.
 
 Counters say *how much*; the tracer says *what happened, when*.  Components
-emit one of a fixed vocabulary of event kinds (lookup cache hits/misses/
+emit one of a typed vocabulary of event kinds (lookup cache hits/misses/
 staleness faults, balancer probes and moves, pointer adoption/flush,
 migrations, membership changes) with arbitrary JSON-safe payload fields.
+The core vocabulary is fixed here; subsystems extend it through
+:func:`register_kind` (e.g. the span-boundary kinds of
+:mod:`repro.obs.spans`) — emitting anything unregistered stays an
+:class:`EventError`.
 
 The buffer is a ``deque(maxlen=capacity)``: the last *capacity* events are
 kept for inspection while per-kind counts remain exact for the whole run,
@@ -17,7 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, Mapping, Optional, Tuple
 
-# Event vocabulary (the schema is documented in docs/observability.md).
+# Core event vocabulary (the schema is documented in docs/observability.md).
 LOOKUP_HIT = "lookup.hit"
 LOOKUP_MISS = "lookup.miss"
 LOOKUP_STALE = "lookup.stale"
@@ -29,7 +33,8 @@ MIGRATION = "store.migration"
 NODE_JOIN = "node.join"
 NODE_LEAVE = "node.leave"
 
-EVENT_KINDS = frozenset(
+#: The immutable core vocabulary, kept for reference and docs.
+BASE_EVENT_KINDS = frozenset(
     (
         LOOKUP_HIT,
         LOOKUP_MISS,
@@ -44,9 +49,28 @@ EVENT_KINDS = frozenset(
     )
 )
 
+#: The live vocabulary: core kinds plus everything registered through
+#: :func:`register_kind`.  Emission of anything outside this set is still
+#: an :class:`EventError` — extension widens the vocabulary, it does not
+#: remove the typo guard.
+EVENT_KINDS = set(BASE_EVENT_KINDS)
+
 
 class EventError(Exception):
     """Raised when an unknown event kind is emitted."""
+
+
+def register_kind(kind: str) -> str:
+    """Add *kind* to the event vocabulary; returns it for assignment.
+
+    Idempotent, so independent modules can register the same kind without
+    coordination.  Registration is process-wide (module-level), matching
+    how the constant kinds are shared.
+    """
+    if not isinstance(kind, str) or not kind:
+        raise EventError(f"event kind must be a non-empty string, got {kind!r}")
+    EVENT_KINDS.add(kind)
+    return kind
 
 
 @dataclass(frozen=True)
@@ -63,6 +87,10 @@ class Event:
 
 class EventTracer:
     """Bounded buffer of :class:`Event` plus exact per-kind counts."""
+
+    #: Extension hook: ``EventTracer.register_kind("my.kind")`` widens the
+    #: shared vocabulary without editing this module.
+    register_kind = staticmethod(register_kind)
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Union
 
 
 class MetricsError(Exception):
@@ -128,8 +128,64 @@ class Histogram:
         rank = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
 
-    def snapshot(self) -> Dict[str, float]:
-        return {
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other* into this histogram (worker → parent aggregation).
+
+        Count/total/min/max combine exactly.  The reservoirs concatenate;
+        when the union overflows, each side contributes slots proportional
+        to its observation count, down-sampled by an RNG seeded from the
+        metric name and the merged count — so merging identical inputs
+        always yields an identical reservoir.
+        """
+        if other.count == 0:
+            return self
+        self_count, other_count = self.count, other.count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        combined = self._reservoir + other._reservoir
+        size = self.reservoir_size
+        if len(combined) > size:
+            rng = random.Random(
+                zlib.crc32(f"{self.name}|merge|{self.count}".encode("utf-8"))
+            )
+            take_self = min(
+                len(self._reservoir),
+                max(0, round(size * self_count / (self_count + other_count))),
+            )
+            take_other = min(len(other._reservoir), size - take_self)
+            take_self = min(len(self._reservoir), size - take_other)
+            combined = rng.sample(self._reservoir, take_self) + rng.sample(
+                other._reservoir, take_other
+            )
+        self._reservoir = combined
+        return self
+
+    @classmethod
+    def from_snapshot(cls, name: str, snapshot: Mapping[str, object],
+                      reservoir_size: int = 512) -> "Histogram":
+        """Rebuild a mergeable histogram from a snapshot dict.
+
+        Exact fields restore exactly; quantiles are only as good as the
+        snapshot's ``reservoir`` (present when it was taken with
+        ``include_reservoir=True``, empty otherwise).
+        """
+        histo = cls(name, reservoir_size)
+        histo.count = int(snapshot.get("count", 0))
+        histo.total = float(snapshot.get("total", 0.0))
+        if histo.count:
+            histo.min = float(snapshot.get("min", 0.0))
+            histo.max = float(snapshot.get("max", 0.0))
+        reservoir = snapshot.get("reservoir", [])
+        if isinstance(reservoir, (list, tuple)):
+            histo._reservoir = [float(v) for v in reservoir[:reservoir_size]]
+        return histo
+
+    def snapshot(self, include_reservoir: bool = False) -> Dict[str, object]:
+        payload: Dict[str, object] = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
@@ -139,6 +195,9 @@ class Histogram:
             "p90": self.percentile(90),
             "p99": self.percentile(99),
         }
+        if include_reservoir:
+            payload["reservoir"] = list(self._reservoir)
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name!r}, count={self.count})"
@@ -181,6 +240,14 @@ class MetricsRegistry:
     def histogram(self, name: str, reservoir_size: int = 512) -> Histogram:
         return self._get_or_create(name, Histogram, reservoir_size)
 
+    def register(self, metric: Metric) -> Metric:
+        """Adopt an externally built metric (e.g. a merged histogram)."""
+        existing = self._metrics.get(metric.name)
+        if existing is not None and existing is not metric:
+            raise MetricsError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)
 
@@ -193,8 +260,13 @@ class MetricsRegistry:
     def names(self) -> Iterator[str]:
         return iter(sorted(self._metrics))
 
-    def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """JSON-ready snapshot: ``{counters, gauges, histograms}``."""
+    def snapshot(self, include_reservoirs: bool = False) -> Dict[str, Dict[str, object]]:
+        """JSON-ready snapshot: ``{counters, gauges, histograms}``.
+
+        With ``include_reservoirs`` each histogram also carries its raw
+        reservoir sample, which is what lets a parent process rebuild and
+        :meth:`Histogram.merge` worker histograms instead of dropping them.
+        """
         counters: Dict[str, object] = {}
         gauges: Dict[str, object] = {}
         histograms: Dict[str, object] = {}
@@ -205,5 +277,5 @@ class MetricsRegistry:
             elif isinstance(metric, Gauge):
                 gauges[name] = metric.value
             else:
-                histograms[name] = metric.snapshot()
+                histograms[name] = metric.snapshot(include_reservoir=include_reservoirs)
         return {"counters": counters, "gauges": gauges, "histograms": histograms}

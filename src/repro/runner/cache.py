@@ -40,7 +40,9 @@ CACHE_ENV = "REPRO_RUN_CACHE"
 #: Bump whenever a cached result type changes shape (new dataclass fields,
 #: renamed metrics the analyses rely on, changed simulation semantics):
 #: old entries become unreachable instead of silently wrong.
-SCHEMA_VERSION = 1
+#: v2: PerformanceResult grew ``trace`` (exported span dicts); histogram
+#: snapshots may carry reservoirs.
+SCHEMA_VERSION = 2
 
 
 def cache_key(kind: str, params: Mapping[str, Any]) -> str:

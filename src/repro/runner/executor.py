@@ -131,7 +131,7 @@ def run_cells(
     stats.wall_seconds = time.perf_counter() - started
     _LAST_STATS[kind] = stats
     _MOST_RECENT = stats
-    _emit_stats_report(stats, metrics_name, metrics_dir)
+    _emit_stats_report(stats, metrics_name, metrics_dir, results)
     return results
 
 
@@ -152,10 +152,71 @@ def _events_fired(result: Any) -> int:
     return 0
 
 
+def _iter_results(results: Sequence[Any]):
+    """Flatten cell results (availability cells return result mappings)."""
+    for result in results:
+        if isinstance(result, Mapping):
+            yield from _iter_results(list(result.values()))
+        elif result is not None:
+            yield result
+
+
+def _merge_result_histograms(registry: Any, results: Sequence[Any]) -> None:
+    """Aggregate per-cell histogram snapshots into the runner report.
+
+    Worker processes cannot share live :class:`Histogram` objects, so each
+    result ships its deployment snapshot (with reservoirs); here they are
+    restored and merged — deterministically, whatever ``jobs`` was —
+    into run-level distributions.
+    """
+    from repro.obs.metrics import Histogram
+
+    merged: Dict[str, Any] = {}
+    for result in _iter_results(results):
+        metrics = getattr(result, "metrics", None)
+        if not isinstance(metrics, Mapping):
+            continue
+        histograms = metrics.get("histograms")
+        if not isinstance(histograms, Mapping):
+            continue
+        for name, snapshot in sorted(histograms.items()):
+            if not isinstance(snapshot, Mapping):
+                continue
+            restored = Histogram.from_snapshot(name, snapshot)
+            if name in merged:
+                merged[name].merge(restored)
+            else:
+                merged[name] = restored
+    for name in sorted(merged):
+        registry.register(merged[name])
+
+
+def _write_trace_files(
+    metrics_name: str, results: Sequence[Any], directory: str
+) -> List[str]:
+    """Export each traced result as ``<metrics_name>.trace<k>.jsonl``."""
+    import json
+
+    filenames: List[str] = []
+    for result in _iter_results(results):
+        trace = getattr(result, "trace", None)
+        if not trace:
+            continue
+        filename = f"{metrics_name}.trace{len(filenames)}.jsonl"
+        path = os.path.join(directory, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            for payload in trace:
+                handle.write(json.dumps(payload, sort_keys=True))
+                handle.write("\n")
+        filenames.append(filename)
+    return filenames
+
+
 def _emit_stats_report(
     stats: RunnerStats,
     metrics_name: Optional[str],
     metrics_dir: Optional[str],
+    results: Sequence[Any] = (),
 ) -> Optional[str]:
     """Write one ``<metrics_name>.json`` runner report (when emission is on)."""
     if not metrics_name:
@@ -174,10 +235,14 @@ def _emit_stats_report(
     registry.counter("sim.events_fired").inc(stats.events_fired)
     registry.gauge("runner.jobs").set(stats.jobs)
     registry.gauge("runner.wall_seconds").set(stats.wall_seconds)
+    _merge_result_histograms(registry, results)
     entry = snapshot_run({"kind": stats.kind, "jobs": stats.jobs}, registry)
-    return common.emit_metrics_report(
-        metrics_name,
-        [entry],
-        {"kind": stats.kind, "jobs": stats.jobs, "cache_dir": stats.cache_dir},
-        directory,
-    )
+    params: Dict[str, Any] = {
+        "kind": stats.kind,
+        "jobs": stats.jobs,
+        "cache_dir": stats.cache_dir,
+    }
+    traces = _write_trace_files(metrics_name, results, directory)
+    if traces:
+        params["traces"] = traces
+    return common.emit_metrics_report(metrics_name, [entry], params, directory)

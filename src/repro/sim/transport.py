@@ -44,11 +44,18 @@ class TransferResult:
 
 
 class TcpTransport:
-    """Transfer-time oracle for block downloads between named nodes."""
+    """Transfer-time oracle for block downloads between named nodes.
 
-    def __init__(self, latency: LatencyModel) -> None:
+    With a span *tracer* (:class:`repro.obs.spans.Tracer`), each transfer
+    performed under a live parent span records a ``tcp.transfer`` child
+    annotated warm (window preserved) or cold (slow-start restart) — the
+    distinction the paper's parallel-performance results hinge on.
+    """
+
+    def __init__(self, latency: LatencyModel, *, spans=None) -> None:
         self._latency = latency
         self._connections: Dict[Tuple[str, str], _Connection] = {}
+        self._spans = spans
         self.transfers = 0
         self.slow_start_restarts = 0
 
@@ -64,13 +71,15 @@ class TcpTransport:
         now: float,
         *,
         rate_bytes_per_sec: float,
+        parent=None,
     ) -> TransferResult:
         """Time for *server* to deliver *nbytes* to *client* starting *now*.
 
         ``rate_bytes_per_sec`` is the sender's currently available share of
         its access link.  Updates connection state (window growth, last-use
         time) so back-to-back transfers on a warm connection skip slow
-        start.
+        start.  *parent* is an optional span the transfer is recorded
+        under.
         """
         if nbytes < 0:
             raise ValueError("cannot transfer negative bytes")
@@ -88,6 +97,7 @@ class TcpTransport:
             # Local transfer: pure serialization delay.
             duration = nbytes / rate_bytes_per_sec if rate_bytes_per_sec > 0 else 0.0
             conn.last_used = now + duration
+            self._record_span(server, client, nbytes, now, duration, 0, restarted, parent)
             return TransferResult(duration, 0, restarted)
 
         bdp = max(INITIAL_WINDOW_BYTES, int(rate_bytes_per_sec * rtt))
@@ -109,7 +119,19 @@ class TcpTransport:
             duration += remaining / rate_bytes_per_sec
         conn.cwnd = cwnd
         conn.last_used = now + duration
+        self._record_span(server, client, nbytes, now, duration, rounds, restarted, parent)
         return TransferResult(duration, rounds, restarted)
+
+    def _record_span(self, server: str, client: str, nbytes: int, now: float,
+                     duration: float, rounds: int, restarted: bool, parent) -> None:
+        if self._spans and parent:
+            span = self._spans.start_span(
+                "tcp.transfer", now, parent,
+                server=server, client=client, bytes=nbytes,
+                warm=not restarted, restarted=restarted,
+                slow_start_rounds=rounds,
+            )
+            self._spans.finish(span, now + duration)
 
     def warm_fraction(self) -> float:
         """Fraction of transfers that did not restart slow start."""

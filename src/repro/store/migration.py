@@ -20,8 +20,9 @@ is needed.
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.dht.ring import Ring
 from repro.obs.events import MIGRATION, POINTER_CREATE, POINTER_FLUSH, EventTracer
@@ -106,11 +107,14 @@ class StorageCoordinator:
         replica_count: int = 3,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[EventTracer] = None,
+        spans=None,
     ) -> None:
         self.ring = ring
         self.sim = sim
         self.metrics = registry if registry is not None else MetricsRegistry()
         self._tracer = tracer
+        self.spans = spans  # repro.obs.spans.Tracer; falsy/None when disabled
+        self._span_parent = None
         self._c_writes = self.metrics.counter("store.writes")
         self._c_written_bytes = self.metrics.counter("store.written_bytes")
         self._c_removes = self.metrics.counter("store.removes")
@@ -263,10 +267,37 @@ class StorageCoordinator:
     # ------------------------------------------------------------------
     # movement mechanics
 
+    @contextmanager
+    def span_context(self, parent) -> Iterator[None]:
+        """Parent all spans recorded inside the block under *parent*.
+
+        Used by the balancer so pointer-adoption spans nest inside the
+        ``balance.move`` span that caused them.  Stabilization fires later
+        via the event queue, outside any such context, and records roots.
+        """
+        previous = self._span_parent
+        self._span_parent = parent
+        try:
+            yield
+        finally:
+            self._span_parent = previous
+
+    def _record_span(self, name: str, **attrs) -> None:
+        """Instantaneous span at ``sim.now`` (child of the active context)."""
+        if not self.spans:
+            return
+        now = self.sim.now
+        if self._span_parent:
+            span = self.spans.start_span(name, now, self._span_parent, **attrs)
+        else:
+            span = self.spans.start_trace(name, now, **attrs)
+        self.spans.finish(span, now)
+
     def _hand_off(self, lo: int, hi: int, adopter: str) -> None:
         if self.use_pointers:
             record = self.pointer_table.adopt(lo, hi, adopter, self.sim.now)
             self._c_pointer_adopted.inc()
+            self._record_span("pointer.adopt", lo=lo, hi=hi, owner=adopter)
             if self._tracer is not None:
                 self._tracer.emit(
                     POINTER_CREATE, self.sim.now, lo=lo, hi=hi, owner=adopter
@@ -281,6 +312,9 @@ class StorageCoordinator:
         """Pointer stabilization: pull in any bytes still held elsewhere."""
         if self.pointer_table.retire(record):
             self._c_pointer_stabilized.inc()
+            self._record_span(
+                "pointer.stabilize", lo=record.lo, hi=record.hi, owner=record.owner
+            )
             if self._tracer is not None:
                 self._tracer.emit(
                     POINTER_FLUSH,
@@ -306,6 +340,7 @@ class StorageCoordinator:
                 self.physical_at[key] = owner
         if migrated:
             self.ledger.record_migration(self.sim.now, migrated)
+            self._record_span("store.migrate", lo=lo, hi=hi, bytes=migrated)
             self._c_migrations.inc()
             self._c_migrated_bytes.inc(migrated)
             if self._tracer is not None:

@@ -288,3 +288,142 @@ class TestExperimentEmission:
         assert "pointer.adopted" in agg["counters"]
         # and it round-trips through the CLI
         assert obs_main(["summary", str(path)]) == 0
+
+
+class TestEventKindRegistration:
+    def test_register_kind_allows_emission(self):
+        from repro.obs import register_kind
+
+        kind = register_kind("custom.test_kind")
+        tracer = EventTracer()
+        tracer.emit(kind, 1.0, detail="ok")
+        assert tracer.counts() == {"custom.test_kind": 1}
+
+    def test_register_kind_via_tracer_staticmethod(self):
+        EventTracer.register_kind("custom.other_kind")
+        EventTracer().emit("custom.other_kind", 0.0)
+
+    def test_register_rejects_non_string(self):
+        from repro.obs import register_kind
+
+        with pytest.raises(EventError):
+            register_kind("")
+        with pytest.raises(EventError):
+            register_kind(None)
+
+    def test_base_kinds_still_frozen(self):
+        from repro.obs import BASE_EVENT_KINDS
+
+        assert isinstance(BASE_EVENT_KINDS, frozenset)
+        assert LOOKUP_HIT in BASE_EVENT_KINDS
+
+    def test_unregistered_kind_still_rejected(self):
+        with pytest.raises(EventError):
+            EventTracer().emit("never.registered.kind", 0.0)
+
+
+class TestHistogramPercentileEdges:
+    def test_empty_histogram(self):
+        histo = MetricsRegistry().histogram("h")
+        assert histo.percentile(0) == 0.0
+        assert histo.percentile(50) == 0.0
+        assert histo.percentile(100) == 0.0
+
+    def test_single_observation(self):
+        histo = MetricsRegistry().histogram("h")
+        histo.observe(42.0)
+        assert histo.percentile(0) == 42.0
+        assert histo.percentile(50) == 42.0
+        assert histo.percentile(100) == 42.0
+
+    def test_p0_and_p100_hit_extremes(self):
+        histo = MetricsRegistry().histogram("h")
+        for v in range(100):
+            histo.observe(float(v))
+        assert histo.percentile(0) == 0.0
+        assert histo.percentile(100) == 99.0
+
+    def test_out_of_range_rejected(self):
+        histo = MetricsRegistry().histogram("h")
+        with pytest.raises(MetricsError):
+            histo.percentile(-0.1)
+        with pytest.raises(MetricsError):
+            histo.percentile(100.1)
+
+    def test_reservoir_determinism_under_overflow(self):
+        def build():
+            histo = MetricsRegistry().histogram("h", reservoir_size=32)
+            for v in range(1000):
+                histo.observe(float(v))
+            return histo.snapshot(include_reservoir=True)
+
+        assert build() == build()
+
+
+class TestHistogramMerge:
+    def _histo(self, name, values, reservoir_size=512):
+        from repro.obs.metrics import Histogram
+
+        histo = Histogram(name, reservoir_size)
+        for v in values:
+            histo.observe(float(v))
+        return histo
+
+    def test_exact_fields_combine(self):
+        a = self._histo("h", range(100))
+        b = self._histo("h", range(100, 200))
+        a.merge(b)
+        assert a.count == 200
+        assert a.total == sum(range(200))
+        assert a.min == 0.0 and a.max == 199.0
+
+    def test_merge_empty_is_noop(self):
+        a = self._histo("h", [1.0, 2.0])
+        before = a.snapshot(include_reservoir=True)
+        a.merge(self._histo("h", []))
+        assert a.snapshot(include_reservoir=True) == before
+
+    def test_merge_into_empty_adopts_other(self):
+        a = self._histo("h", [])
+        a.merge(self._histo("h", [5.0, 7.0]))
+        assert a.count == 2 and a.min == 5.0 and a.max == 7.0
+        assert a.percentile(50) in (5.0, 7.0)
+
+    def test_overflowing_merge_is_deterministic_and_bounded(self):
+        def merged():
+            a = self._histo("h", range(500), reservoir_size=64)
+            b = self._histo("h", range(500, 1000), reservoir_size=64)
+            a.merge(b)
+            return a.snapshot(include_reservoir=True)
+
+        first, second = merged(), merged()
+        assert first == second
+        assert len(first["reservoir"]) <= 64
+
+    def test_merged_percentiles_track_union(self):
+        a = self._histo("h", range(100))
+        b = self._histo("h", range(100, 200))
+        a.merge(b)
+        assert 80 <= a.percentile(50) <= 120
+        assert a.percentile(99) > 150
+
+    def test_from_snapshot_round_trip(self):
+        from repro.obs.metrics import Histogram
+
+        a = self._histo("h", range(50))
+        snap = a.snapshot(include_reservoir=True)
+        restored = Histogram.from_snapshot("h", snap)
+        assert restored.count == a.count
+        assert restored.total == a.total
+        assert restored.snapshot(include_reservoir=True) == snap
+
+    def test_registry_register_adopts_and_conflicts(self):
+        from repro.obs.metrics import Histogram
+
+        registry = MetricsRegistry()
+        merged = self._histo("fetch.latency_seconds", [1.0])
+        registry.register(merged)
+        assert registry.get("fetch.latency_seconds") is merged
+        registry.register(merged)  # same object: idempotent
+        with pytest.raises(MetricsError):
+            registry.register(Histogram("fetch.latency_seconds"))
