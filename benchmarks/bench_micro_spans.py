@@ -9,7 +9,6 @@ generous (25%) while the printed ratio is what a human (or perf
 regression sweep) reads against the < 2% design target.
 """
 
-import random
 import time
 
 from repro.core.system import build_deployment

@@ -8,7 +8,6 @@ cache, mirroring how the paper derives several figures from one testbed
 run.
 """
 
-import pytest
 
 
 def run_once(benchmark, fn):

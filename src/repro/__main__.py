@@ -246,9 +246,9 @@ def main(argv=None) -> int:
 
     for name in requested:
         title, fn = runners[name]
-        started = time.time()
+        started = time.perf_counter()
         report = fn()
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         print(report)
         print(f"[{name} finished in {elapsed:.1f}s]\n")
     return 0

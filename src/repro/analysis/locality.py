@@ -24,7 +24,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
-from repro.dht.keyspace import hash_to_key
+from repro.dht.consistent_hashing import hashed_key
 from repro.fs.blocks import BLOCK_SIZE
 from repro.workloads.trace import CREATE, READ, RENAME, Trace, WRITE
 
@@ -159,7 +159,7 @@ def _ordered_assignment(
 
 
 def _uniform_node(block: BlockName, n_nodes: int) -> int:
-    return hash_to_key(f"{block[0]}#{block[1]}".encode("utf-8")) % n_nodes
+    return hashed_key(f"{block[0]}#{block[1]}") % n_nodes
 
 
 def _mean(values: Sequence[int]) -> float:

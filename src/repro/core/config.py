@@ -20,7 +20,7 @@ concurrent client transfers     15
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from repro.sim.engine import kbps
 
 BLOCK_SIZE = 8192

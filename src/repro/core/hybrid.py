@@ -38,7 +38,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Sequence, Set
 
-from repro.dht.keyspace import hash_to_key, key_to_bytes
+from repro.dht.consistent_hashing import salted_key
 from repro.dht.ring import Ring
 
 
@@ -49,7 +49,7 @@ def secondary_positions(key: int, replicas: int) -> List[int]:
     region of the ring can cost at most one replica.
     """
     return [
-        hash_to_key(b"hybrid-replica:%d:" % index + key_to_bytes(key))
+        salted_key(f"hybrid-replica:{index}:", key)
         for index in range(1, replicas)
     ]
 

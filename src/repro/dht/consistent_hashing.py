@@ -13,12 +13,23 @@ from __future__ import annotations
 import random
 from typing import Iterable, List
 
-from repro.dht.keyspace import KEY_SPACE, hash_to_key
+from repro.dht.keyspace import KEY_SPACE, hash_to_key, key_to_bytes
 
 
 def hashed_key(name: str) -> int:
     """Uniform ring key for a named object (block or file) via SHA-512."""
     return hash_to_key(name.encode("utf-8"))
+
+
+def salted_key(salt: str, key: int) -> int:
+    """Independent uniform re-hash of an existing ring *key* under *salt*.
+
+    The sanctioned way to derive secondary positions from a key (e.g.
+    hybrid replica placement): each distinct salt yields an independent
+    uniform position, so correlated failures of one ring region cost at
+    most one replica.
+    """
+    return hash_to_key(salt.encode("utf-8") + key_to_bytes(key))
 
 
 def hashed_block_key(file_name: str, block_number: int, version: int = 0) -> int:

@@ -1,0 +1,46 @@
+"""repro.lint — determinism & invariant enforcement, static and dynamic.
+
+Two halves, one contract ("cells are bit-deterministic given their param
+bundle"):
+
+* the **AST linter** (``python -m repro.lint``): rules DET001/DET002/
+  DET003/OBS001/KEY001 over the source tree, with a checked-in baseline
+  and a JSON report mode — see :mod:`repro.lint.rules` and
+  ``docs/static-analysis.md``.
+* the **runtime sanitizer** (``$REPRO_DETSAN=1``): patches wall-clock and
+  unseeded-entropy entry points to raise during simulations and tests —
+  see :mod:`repro.lint.detsan`.
+"""
+
+from repro.lint.baseline import Baseline, fingerprint
+from repro.lint.cli import EXIT_CLEAN, EXIT_TOOL_ERROR, EXIT_VIOLATIONS, main
+from repro.lint.detsan import (
+    DETSAN_ENV,
+    DeterminismViolation,
+    determinism_sanitizer,
+    enabled_from_env,
+    maybe_sanitize,
+)
+from repro.lint.rules import ALL_RULES, RULES_BY_ID, Finding, run_rules
+from repro.lint.walker import LintToolError, parse_module, parse_tree
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "DETSAN_ENV",
+    "DeterminismViolation",
+    "EXIT_CLEAN",
+    "EXIT_TOOL_ERROR",
+    "EXIT_VIOLATIONS",
+    "Finding",
+    "LintToolError",
+    "RULES_BY_ID",
+    "determinism_sanitizer",
+    "enabled_from_env",
+    "fingerprint",
+    "main",
+    "maybe_sanitize",
+    "parse_module",
+    "parse_tree",
+    "run_rules",
+]

@@ -1,0 +1,139 @@
+"""``python -m repro.lint`` — the CI gate and local pre-commit check.
+
+Exit codes are part of the contract (CI failure triage depends on them):
+
+* ``0`` — clean: no unbaselined findings (and, under ``--strict``, no
+  stale baseline entries either).
+* ``1`` — violations: the *code* is at fault.
+* ``2`` — tool error: the *linter run* is at fault (bad path, syntax
+  error in a scanned file, unreadable baseline, bad arguments).
+
+Typical invocations::
+
+    python -m repro.lint                       # lint src/repro
+    python -m repro.lint --strict              # CI gate
+    python -m repro.lint --json > lint.json    # machine-readable report
+    python -m repro.lint --update-baseline     # grandfather current findings
+    python -m repro.lint --rules DET001,KEY001 src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import ALL_RULES, RULES_BY_ID, build_context, run_rules
+from repro.lint.walker import LintToolError, parse_tree
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_TOOL_ERROR = 2
+
+
+def default_roots() -> List[str]:
+    """``src/repro`` relative to the current directory, if it exists."""
+    candidate = os.path.join("src", "repro")
+    if os.path.isdir(candidate):
+        return [candidate]
+    # Fall back to the installed package location (running from elsewhere).
+    package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return [package_dir]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based determinism & invariant linter for this repro.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=baseline_mod.DEFAULT_BASELINE,
+        help="baseline file of grandfathered findings "
+             f"(default: {baseline_mod.DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline entirely (every finding is fatal)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to exactly the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="CI mode: also fail on stale baseline entries",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress output on a fully clean run",
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]):
+    if not spec:
+        return ALL_RULES
+    selected = []
+    for rule_id in spec.split(","):
+        rule_id = rule_id.strip().upper()
+        if rule_id not in RULES_BY_ID:
+            raise LintToolError(
+                f"unknown rule {rule_id!r}; known: {', '.join(sorted(RULES_BY_ID))}"
+            )
+        selected.append(RULES_BY_ID[rule_id])
+    return tuple(selected)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        roots = list(args.paths) or default_roots()
+        rules = _select_rules(args.rules)
+        modules = parse_tree(roots)
+        context = build_context(modules)
+        findings = run_rules(modules, rules, context)
+
+        sources: Dict[str, List[str]] = {m.path: m.lines for m in modules}
+        prints = baseline_mod.fingerprints_for(findings, sources)
+
+        if args.no_baseline:
+            base = baseline_mod.Baseline(path=args.baseline)
+        else:
+            base = baseline_mod.Baseline.load(args.baseline)
+
+        if args.update_baseline:
+            baseline_mod.update(base, prints).save()
+            print(
+                f"baseline {base.path}: recorded {len(prints)} finding"
+                f"{'s' if len(prints) != 1 else ''}"
+            )
+            return EXIT_CLEAN
+
+        new, suppressed, stale = baseline_mod.partition(findings, prints, base)
+    except LintToolError as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return EXIT_TOOL_ERROR
+
+    failed = bool(new) or (args.strict and bool(stale))
+    if args.as_json:
+        print(render_json(new, suppressed, stale, len(modules), roots,
+                          strict=args.strict))
+    elif not (args.quiet and not failed and not suppressed and not stale):
+        print(render_text(new, suppressed, stale, len(modules)))
+    return EXIT_VIOLATIONS if failed else EXIT_CLEAN

@@ -1,0 +1,187 @@
+"""Runtime determinism sanitizer: make hidden entropy loud.
+
+The static rules (DET001/DET002) catch what the AST can see; this module
+catches what it cannot — a dependency, a dynamic dispatch, an ``eval`` —
+by patching the process-wide entropy entry points to *raise* while a
+simulation (or a test) runs:
+
+* wall clock: ``time.time``/``time_ns``/``monotonic``/``monotonic_ns``
+  (``time.perf_counter`` stays available for wall-clock *reporting*)
+* the module-global RNG: ``random.random``, ``random.randint``, ... (seeded
+  ``random.Random(seed)`` instances are untouched — they are the sanctioned
+  mechanism)
+* OS entropy: ``os.urandom``, ``uuid.uuid4``/``uuid1``
+* ``datetime.datetime``/``datetime.date`` ``now``/``utcnow``/``today``
+  (modules that did ``from datetime import datetime`` before the sanitizer
+  activated keep the real class — a documented blind spot the static
+  DET001 rule covers)
+
+Enable with ``$REPRO_DETSAN=1``: the runner's cell executor
+(:func:`repro.runner.cells.execute_cell`) and the tier-1 ``conftest``
+wrap their work in :func:`maybe_sanitize`, so both CI jobs and local runs
+get the guarantee without code changes.  The patch set is intentionally
+scoped to the sanitized region — process-pool plumbing (which legitimately
+uses ``os.urandom`` for auth keys) runs outside it.
+
+The guards are *caller-aware*: they raise only when the offending frame
+belongs to project code (``repro``, ``tests``, ``benchmarks``, or a
+``__main__`` script) and delegate to the real function otherwise, so
+harness internals (pytest timing, hypothesis bookkeeping) keep working
+while any project-code entropy read inside the region is fatal.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Tuple
+
+import datetime as _datetime_module
+
+#: Environment knob: "1"/"true"/"yes"/"on" enables the sanitizer in the
+#: runner executor and the test suite.
+DETSAN_ENV = "REPRO_DETSAN"
+
+
+class DeterminismViolation(RuntimeError):
+    """A sanitized region touched wall clock or unseeded entropy."""
+
+
+def enabled_from_env() -> bool:
+    return os.environ.get(DETSAN_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+#: (module, attribute) pairs replaced with raising stubs while active.
+_TIME_PATCHES: Tuple[str, ...] = ("time", "time_ns", "monotonic", "monotonic_ns")
+_RANDOM_PATCHES: Tuple[str, ...] = (
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "expovariate", "gauss", "normalvariate",
+    "lognormvariate", "betavariate", "gammavariate", "paretovariate",
+    "vonmisesvariate", "weibullvariate", "triangular", "getrandbits",
+    "randbytes", "binomialvariate",
+)
+_UUID_PATCHES: Tuple[str, ...] = ("uuid4", "uuid1")
+
+
+#: Top-level package names whose frames trip the guard.  Third-party code
+#: (pytest, hypothesis) legitimately reads the clock for its own harness
+#: bookkeeping; the invariant protects *project* code, so the guard checks
+#: who is calling before raising and delegates otherwise.
+_GUARDED_ROOTS = frozenset({"repro", "tests", "benchmarks", "__main__"})
+
+
+def _caller_guarded(depth: int = 2) -> bool:
+    """True when the frame *depth* levels up belongs to project code."""
+    caller = sys._getframe(depth).f_globals.get("__name__", "")
+    return str(caller).split(".", 1)[0] in _GUARDED_ROOTS
+
+
+def _raiser(description: str, hint: str,
+            original: Callable[..., object]) -> Callable[..., object]:
+    def guard(*args: object, **kwargs: object) -> object:
+        if _caller_guarded():
+            raise DeterminismViolation(
+                f"{description} called inside a determinism-sanitized region "
+                f"($REPRO_DETSAN); {hint}"
+            )
+        return original(*args, **kwargs)
+    guard.__name__ = "detsan_guard"
+    guard.__qualname__ = f"detsan_guard[{description}]"
+    return guard
+
+
+def _guarded_datetime_class(base: type, methods: Tuple[str, ...], label: str) -> type:
+    namespace = {}
+    for name in methods:
+        original = getattr(base, name)  # bound to *base*: delegation stays real
+
+        def make_guard(method_name: str, orig: Callable[..., object]):
+            def guard(cls: type, *args: object, **kwargs: object) -> object:
+                if _caller_guarded():
+                    raise DeterminismViolation(
+                        f"{label}.{method_name}() called inside a determinism-"
+                        "sanitized region ($REPRO_DETSAN); derive timestamps "
+                        "from sim.now or parameters"
+                    )
+                return orig(*args, **kwargs)
+            return classmethod(guard)
+
+        namespace[name] = make_guard(name, original)
+    return type(f"DetsanGuarded_{base.__name__}", (base,), namespace)
+
+
+_ACTIVE_DEPTH = 0
+
+
+def active() -> bool:
+    """True while a sanitizer context is in force in this process."""
+    return _ACTIVE_DEPTH > 0
+
+
+@contextmanager
+def determinism_sanitizer() -> Iterator[None]:
+    """Patch entropy entry points to raise; restore on exit.  Reentrant."""
+    global _ACTIVE_DEPTH
+    if _ACTIVE_DEPTH > 0:
+        _ACTIVE_DEPTH += 1
+        try:
+            yield
+        finally:
+            _ACTIVE_DEPTH -= 1
+        return
+
+    saved: List[Tuple[object, str, object]] = []
+
+    def patch(target: object, name: str, replacement: object) -> None:
+        saved.append((target, name, getattr(target, name)))
+        setattr(target, name, replacement)
+
+    for name in _TIME_PATCHES:
+        patch(time, name, _raiser(
+            f"time.{name}()", "use sim.now (simulated time) or time.perf_counter() "
+            "for wall-clock reporting", getattr(time, name)
+        ))
+    for name in _RANDOM_PATCHES:
+        if not hasattr(random, name):  # randbytes/binomialvariate: version-gated
+            continue
+        patch(random, name, _raiser(
+            f"random.{name}()", "use an explicitly seeded random.Random(seed)",
+            getattr(random, name)
+        ))
+    patch(os, "urandom", _raiser(
+        "os.urandom()", "derive randomness from the seeded parameter bundle",
+        os.urandom
+    ))
+    for name in _UUID_PATCHES:
+        patch(uuid, name, _raiser(
+            f"uuid.{name}()", "derive identifiers from deterministic counters",
+            getattr(uuid, name)
+        ))
+    patch(_datetime_module, "datetime", _guarded_datetime_class(
+        _datetime_module.datetime, ("now", "utcnow", "today"), "datetime.datetime"
+    ))
+    patch(_datetime_module, "date", _guarded_datetime_class(
+        _datetime_module.date, ("today",), "datetime.date"
+    ))
+
+    _ACTIVE_DEPTH = 1
+    try:
+        yield
+    finally:
+        _ACTIVE_DEPTH = 0
+        for target, name, original in reversed(saved):
+            setattr(target, name, original)
+
+
+@contextmanager
+def maybe_sanitize() -> Iterator[None]:
+    """:func:`determinism_sanitizer` when ``$REPRO_DETSAN`` is on, else no-op."""
+    if enabled_from_env():
+        with determinism_sanitizer():
+            yield
+    else:
+        yield

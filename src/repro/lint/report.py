@@ -1,0 +1,83 @@
+"""Report rendering: human text and machine JSON.
+
+The JSON document is versioned and schema-stable (CI parses it):
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "tool": "repro.lint",
+      "roots": ["src/repro"],
+      "files_scanned": 70,
+      "strict": true,
+      "findings": [{"rule": "...", "path": "...", "line": 1, "col": 1,
+                    "message": "...", "hint": "..."}],
+      "suppressed": [...],
+      "stale_baseline": ["DET001:src/x.py:ab12cd34"],
+      "summary": {"DET001": 0, "...": 0}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.rules import ALL_RULES, Finding
+
+REPORT_VERSION = 1
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Per-rule counts, every known rule present (0 when clean)."""
+    counts = {rule.id: 0 for rule in ALL_RULES}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    stale: Sequence[str],
+    files_scanned: int,
+) -> str:
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+        lines.append(f"    hint: {finding.hint}")
+    for finding in suppressed:
+        lines.append(
+            f"{finding.location()}: {finding.rule} {finding.message} [baselined]"
+        )
+    for entry in stale:
+        lines.append(f"stale baseline entry (violation fixed — remove it): {entry}")
+    total = len(findings)
+    lines.append(
+        f"repro.lint: {files_scanned} files, {total} violation"
+        f"{'s' if total != 1 else ''}, {len(suppressed)} baselined, "
+        f"{len(stale)} stale baseline entr{'ies' if len(stale) != 1 else 'y'}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    stale: Sequence[str],
+    files_scanned: int,
+    roots: Sequence[str],
+    strict: bool,
+) -> str:
+    payload = {
+        "version": REPORT_VERSION,
+        "tool": "repro.lint",
+        "roots": list(roots),
+        "files_scanned": files_scanned,
+        "strict": strict,
+        "findings": [f.to_dict() for f in findings],
+        "suppressed": [f.to_dict() for f in suppressed],
+        "stale_baseline": list(stale),
+        "summary": summarize(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

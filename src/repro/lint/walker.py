@@ -1,0 +1,193 @@
+"""File discovery and parsing for the invariant linter.
+
+The walker turns a set of root paths into :class:`ParsedModule` objects:
+the AST, the raw source lines, the module's dotted name (derived from the
+nearest ``src`` layout or package root), and the per-line suppression
+table parsed from ``# lint: allow=RULE[,RULE]`` comments.
+
+Everything downstream is pure: rules consume parsed modules and produce
+findings; no rule re-reads the filesystem.  A file that cannot be read or
+parsed raises :class:`LintToolError`, which the CLI maps to exit code 2 —
+tool failures must never masquerade as a clean (or dirty) run.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Set
+
+
+class LintToolError(Exception):
+    """The linter itself failed (unreadable path, syntax error, bad args)."""
+
+
+#: Suppression comment: ``# lint: allow=DET001`` or ``allow=DET001,KEY001``.
+#: Applies to the physical line it sits on (inline or the line above).
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow=([A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)")
+
+
+@dataclass
+class ParsedModule:
+    """One parsed Python source file, ready for rule passes."""
+
+    path: str                 # path as given/joined (used in reports)
+    module: str               # dotted module name, e.g. "repro.dht.ring"
+    tree: ast.Module
+    lines: List[str]          # source lines, 1-indexed via lines[lineno - 1]
+    #: line number -> rule ids suppressed on that line
+    allows: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def allowed(self, rule_id: str, lineno: int) -> bool:
+        """True when *rule_id* is suppressed at *lineno*.
+
+        A suppression comment covers its own line and, when it is the only
+        thing on its line, the line directly below (comment-above style).
+        """
+        return rule_id in self.allows.get(lineno, ())
+
+
+def _parse_allows(source: str) -> Dict[int, Set[str]]:
+    allows: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")}
+        allows.setdefault(lineno, set()).update(rules)
+        if line.lstrip().startswith("#"):
+            # Comment-only line: the suppression targets the next line.
+            allows.setdefault(lineno + 1, set()).update(rules)
+    return allows
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of *path*, anchored at a ``src`` dir or package root."""
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    # Prefer the segment after the last "src"; else walk up while __init__.py
+    # exists, so tests/benchmarks paths still get stable short names.
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        return ".".join(parts[anchor + 1:])
+    directory = os.path.dirname(os.path.abspath(path))
+    package: List[str] = []
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        package.append(os.path.basename(directory))
+        directory = os.path.dirname(directory)
+    package.reverse()
+    stem = os.path.basename(path)
+    if stem.endswith(".py"):
+        stem = stem[: -len(".py")]
+    if stem != "__init__":
+        package.append(stem)
+    return ".".join(package) if package else stem
+
+
+def parse_module(path: str) -> ParsedModule:
+    """Read and parse one file; :class:`LintToolError` on any failure."""
+    try:
+        with tokenize.open(path) as handle:  # honors PEP 263 encodings
+            source = handle.read()
+    except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+        raise LintToolError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintToolError(f"cannot parse {path}: {exc}") from exc
+    return ParsedModule(
+        path=path,
+        module=module_name_for(path),
+        tree=tree,
+        lines=source.splitlines(),
+        allows=_parse_allows(source),
+    )
+
+
+def iter_python_files(roots: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under *roots* in sorted, deterministic order."""
+    seen: Set[str] = set()
+    for root in roots:
+        if os.path.isfile(root):
+            if root.endswith(".py") and root not in seen:
+                seen.add(root)
+                yield root
+            continue
+        if not os.path.isdir(root):
+            raise LintToolError(f"no such file or directory: {root}")
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                if path not in seen:
+                    seen.add(path)
+                    yield path
+
+
+def parse_tree(roots: Sequence[str]) -> List[ParsedModule]:
+    """Parse every Python file under *roots* (deterministic order)."""
+    return [parse_module(path) for path in iter_python_files(roots)]
+
+
+def imported_names(tree: ast.Module) -> Dict[str, str]:
+    """Map of local name -> dotted origin for a module's imports.
+
+    ``import time`` maps ``time -> time``; ``import numpy as np`` maps
+    ``np -> numpy``; ``from datetime import datetime as dt`` maps
+    ``dt -> datetime.datetime``.  Only top-of-tree and function-local
+    imports are walked (the whole tree, in fact), which matches how the
+    determinism rules resolve call targets.
+    """
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                names[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: keep the tail, best effort
+                base = node.module or ""
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                names[local] = f"{base}.{alias.name}" if base else alias.name
+    return names
+
+
+def resolve_call_target(node: ast.AST, imports: Dict[str, str]) -> str:
+    """Dotted origin of a call target, e.g. ``time.time`` or ``uuid.uuid4``.
+
+    Returns ``""`` when the target cannot be statically resolved (calls on
+    arbitrary objects, subscripts, etc.) — unresolvable targets are never
+    flagged, keeping the rules false-positive-averse.
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return ""
+    root = imports.get(current.id)
+    if root is None:
+        return ""
+    parts.append(root)
+    return ".".join(reversed(parts))

@@ -42,6 +42,12 @@ CACHE_ENV = "REPRO_RUN_CACHE"
 #: old entries become unreachable instead of silently wrong.
 #: v2: PerformanceResult grew ``trace`` (exported span dicts); histogram
 #: snapshots may carry reservoirs.
+#:
+#: Deliberately NOT bumped for the static-analysis PR: the lint fixes
+#: (sanctioned key helpers, sorted() insertions, perf_counter swaps) were
+#: verified bit-identical to the code they replaced, so every cached
+#: result stays valid.  Bumping here invalidates every user's cache — do
+#: it only when result *content* changes.
 SCHEMA_VERSION = 2
 
 

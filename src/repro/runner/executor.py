@@ -202,6 +202,10 @@ def _write_trace_files(
         trace = getattr(result, "trace", None)
         if not trace:
             continue
+        # This runs before emit_metrics_report's makedirs: create the
+        # directory here too so a traced run into a fresh $REPRO_METRICS_DIR
+        # does not crash on the first trace file.
+        os.makedirs(directory, exist_ok=True)
         filename = f"{metrics_name}.trace{len(filenames)}.jsonl"
         path = os.path.join(directory, filename)
         with open(path, "w", encoding="utf-8") as handle:

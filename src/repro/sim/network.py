@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.sim.engine import TokenBucket
@@ -81,7 +80,7 @@ class LatencyModel:
                 table[(lo, hi)] = (table[(lo, hi)] + value) / 2.0
             else:
                 table[(lo, hi)] = value
-        model._coords = {name: (0.0, 0.0) for name in names}
+        model._coords = {name: (0.0, 0.0) for name in sorted(names)}
         model._table = table
         model._table_default = sum(table.values()) / len(table)
         return model

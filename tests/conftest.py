@@ -9,9 +9,23 @@ import pytest
 from repro.core.system import build_deployment
 from repro.dht.consistent_hashing import random_node_ids
 from repro.dht.ring import Ring
+from repro.lint.detsan import maybe_sanitize
 from repro.sim.engine import Simulator
 from repro.store.migration import StorageCoordinator
 from repro.workloads.harvard import HarvardConfig, generate_harvard
+
+
+@pytest.fixture(autouse=True)
+def _detsan():
+    """Run every test under the determinism sanitizer when $REPRO_DETSAN=1.
+
+    A no-op by default; the CI detsan job (and any local
+    ``REPRO_DETSAN=1 pytest`` run) turns the whole tier-1 suite into a
+    dynamic determinism check: wall-clock reads and unseeded entropy
+    raise :class:`repro.lint.detsan.DeterminismViolation`.
+    """
+    with maybe_sanitize():
+        yield
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.locality import (
-    BLOCKS_PER_NODE,
     analyze_locality,
     trace_block_accesses,
 )

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.system import SYSTEMS, build_deployment
 from repro.workloads.harvard import HarvardConfig, generate_harvard
-from repro.workloads.trace import READ, WRITE
+from repro.workloads.trace import READ
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,230 @@
+"""Tests for the runtime determinism sanitizer (repro.lint.detsan).
+
+These tests run with and without an *outer* sanitizer in force: when the
+suite itself runs under ``$REPRO_DETSAN=1`` the autouse conftest fixture
+already holds one, so restore checks branch on :func:`active` instead of
+assuming the pristine interpreter state.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import random
+import time
+import uuid
+
+import pytest
+
+from repro.lint.detsan import (
+    DETSAN_ENV,
+    DeterminismViolation,
+    active,
+    determinism_sanitizer,
+    enabled_from_env,
+    maybe_sanitize,
+)
+from repro.runner.cells import CELL_KINDS, cell_kind, execute_cell
+
+
+def _guarded(fn) -> bool:
+    return getattr(fn, "__name__", "") == "detsan_guard"
+
+
+# ---------------------------------------------------------------------------
+# the acceptance-criteria test: injected wall-clock call raises
+
+
+def test_injected_wall_clock_raises():
+    with determinism_sanitizer():
+        with pytest.raises(DeterminismViolation):
+            time.time()
+
+
+def test_all_time_entry_points_raise():
+    with determinism_sanitizer():
+        for fn in (time.time, time.time_ns, time.monotonic, time.monotonic_ns):
+            with pytest.raises(DeterminismViolation):
+                fn()
+
+
+def test_perf_counter_stays_available():
+    with determinism_sanitizer():
+        assert time.perf_counter() > 0.0
+
+
+def test_datetime_now_raises_but_construction_works():
+    with determinism_sanitizer():
+        with pytest.raises(DeterminismViolation):
+            datetime.datetime.now()
+        with pytest.raises(DeterminismViolation):
+            datetime.datetime.utcnow()
+        with pytest.raises(DeterminismViolation):
+            datetime.date.today()
+        # Explicit construction and arithmetic stay deterministic & legal.
+        stamp = datetime.datetime(2020, 1, 1, 12, 0, 0)
+        assert (stamp + datetime.timedelta(days=1)).day == 2
+        assert datetime.date(2020, 1, 1).year == 2020
+
+
+def test_global_rng_and_os_entropy_raise():
+    with determinism_sanitizer():
+        with pytest.raises(DeterminismViolation):
+            random.random()
+        with pytest.raises(DeterminismViolation):
+            random.randint(0, 10)
+        with pytest.raises(DeterminismViolation):
+            random.shuffle([1, 2, 3])
+        with pytest.raises(DeterminismViolation):
+            os.urandom(8)
+        with pytest.raises(DeterminismViolation):
+            uuid.uuid4()
+
+
+def test_seeded_rng_is_untouched():
+    with determinism_sanitizer():
+        rng = random.Random(42)
+        draws = [rng.random() for _ in range(3)]
+    assert draws == [random.Random(42).random() for _ in range(1)] + draws[1:]
+    # identical reseed reproduces the stream — the sanctioned mechanism
+    again = random.Random(42)
+    assert [again.random() for _ in range(3)] == draws
+
+
+def test_violation_message_carries_hint():
+    with determinism_sanitizer():
+        with pytest.raises(DeterminismViolation, match="sim.now"):
+            time.time()
+        with pytest.raises(DeterminismViolation, match="seeded random.Random"):
+            random.random()
+
+
+# ---------------------------------------------------------------------------
+# patch/restore lifecycle
+
+
+def test_patches_applied_and_restored():
+    had_outer = active()
+    with determinism_sanitizer():
+        assert active()
+        assert _guarded(time.time)
+        assert _guarded(random.random)
+        assert _guarded(os.urandom)
+        assert datetime.datetime.__name__.startswith("DetsanGuarded")
+    assert active() == had_outer
+    if not had_outer:
+        assert not _guarded(time.time)
+        assert not _guarded(random.random)
+        assert not _guarded(os.urandom)
+        assert not datetime.datetime.__name__.startswith("DetsanGuarded")
+        assert time.time() > 0
+
+
+def test_reentrancy():
+    with determinism_sanitizer():
+        with determinism_sanitizer():
+            assert active()
+            with pytest.raises(DeterminismViolation):
+                time.time()
+        # inner exit must not strip the outer region's patches
+        assert active()
+        with pytest.raises(DeterminismViolation):
+            time.time()
+
+
+def test_restores_even_when_body_raises():
+    had_outer = active()
+    with pytest.raises(ValueError):
+        with determinism_sanitizer():
+            raise ValueError("boom")
+    assert active() == had_outer
+    if not had_outer:
+        assert not _guarded(time.time)
+
+
+# ---------------------------------------------------------------------------
+# caller-aware scoping: third-party frames delegate, project frames raise
+
+
+def test_third_party_caller_delegates():
+    code = "result = time.time()\n"
+    namespace = {"__name__": "somelib.inner", "time": time}
+    with determinism_sanitizer():
+        exec(compile(code, "<somelib>", "exec"), namespace)
+    assert namespace["result"] > 0
+
+
+def test_project_roots_all_guarded():
+    code = "raised = False\ntry:\n    time.time()\nexcept Exception:\n    raised = True\n"
+    for root in ("repro.sim.engine", "tests.test_x", "benchmarks.bench", "__main__"):
+        namespace = {"__name__": root, "time": time}
+        with determinism_sanitizer():
+            exec(compile(code, "<fixture>", "exec"), namespace)
+        assert namespace["raised"], f"caller {root} should have been guarded"
+
+
+# ---------------------------------------------------------------------------
+# env gating
+
+
+def test_enabled_from_env_values(monkeypatch):
+    for value in ("1", "true", "YES", " on "):
+        monkeypatch.setenv(DETSAN_ENV, value)
+        assert enabled_from_env()
+    for value in ("", "0", "false", "off", "no"):
+        monkeypatch.setenv(DETSAN_ENV, value)
+        assert not enabled_from_env()
+    monkeypatch.delenv(DETSAN_ENV)
+    assert not enabled_from_env()
+
+
+def test_maybe_sanitize_follows_env(monkeypatch):
+    monkeypatch.setenv(DETSAN_ENV, "0")
+    depth_before = active()
+    with maybe_sanitize():
+        assert active() == depth_before  # no-op: depth unchanged
+    monkeypatch.setenv(DETSAN_ENV, "1")
+    with maybe_sanitize():
+        assert active()
+        with pytest.raises(DeterminismViolation):
+            time.time()
+    assert active() == depth_before
+
+
+# ---------------------------------------------------------------------------
+# runner wiring: execute_cell sanitizes the cell body
+
+
+def test_execute_cell_runs_under_sanitizer(monkeypatch):
+    monkeypatch.setenv(DETSAN_ENV, "1")
+
+    @cell_kind("detsan-test-wallclock")
+    def wallclock_cell(params):
+        return time.time()
+
+    @cell_kind("detsan-test-clean")
+    def clean_cell(params):
+        return random.Random(params["seed"]).random()
+
+    try:
+        with pytest.raises(DeterminismViolation):
+            execute_cell("detsan-test-wallclock", {})
+        assert execute_cell("detsan-test-clean", {"seed": 7}) == \
+            random.Random(7).random()
+    finally:
+        del CELL_KINDS["detsan-test-wallclock"]
+        del CELL_KINDS["detsan-test-clean"]
+
+
+def test_execute_cell_noop_without_env(monkeypatch):
+    monkeypatch.delenv(DETSAN_ENV, raising=False)
+
+    @cell_kind("detsan-test-unsanitized")
+    def unsanitized_cell(params):
+        return active()
+
+    try:
+        # without the env knob the cell sees whatever the ambient state is
+        assert execute_cell("detsan-test-unsanitized", {}) == active()
+    finally:
+        del CELL_KINDS["detsan-test-unsanitized"]

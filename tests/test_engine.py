@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import EventHandle, SimulationError, Simulator, TokenBucket, kbps
+from repro.sim.engine import SimulationError, Simulator, TokenBucket, kbps
 
 
 class TestSimulatorBasics:

@@ -7,7 +7,6 @@ run at larger scale.
 
 import pytest
 
-from repro.experiments import common
 from repro.experiments.common import clear_cache, format_table
 
 TINY = dict(users=3, days=0.5, seed=21)

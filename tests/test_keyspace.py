@@ -1,7 +1,7 @@
 """Tests for 512-bit circular key-space arithmetic."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.dht.keyspace import (

@@ -1,0 +1,488 @@
+"""Tests for the repro.lint static-analysis suite.
+
+Every rule family gets fixture snippets that *must* trigger and snippets
+that *must not* (false-positive guards), plus baseline round-trips, the
+JSON report schema, and the exit-code contract (0 clean / 1 violations /
+2 tool error).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.lint.baseline import Baseline, fingerprint
+from repro.lint.cli import EXIT_CLEAN, EXIT_TOOL_ERROR, EXIT_VIOLATIONS, main
+from repro.lint.rules import build_context, run_rules
+from repro.lint.walker import LintToolError, parse_module
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                        "src", "repro")
+
+
+def lint(tmp_path, source, name="fixture.py", companions=()):
+    """Lint one dedented fixture (plus optional companion files)."""
+    modules = []
+    for fname, fsource in list(companions) + [(name, source)]:
+        path = tmp_path / fname
+        path.write_text(textwrap.dedent(fsource))
+        modules.append(parse_module(str(path)))
+    findings = run_rules(modules, context=build_context(modules))
+    return [f for f in findings if f.path.endswith(name)]
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ---------------------------------------------------------------------------
+# DET001 — wall clock
+
+
+def test_det001_flags_wall_clock(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+        from datetime import datetime
+
+        def run():
+            a = time.time()
+            b = time.monotonic()
+            c = datetime.now()
+            return a, b, c
+    """)
+    assert [f.rule for f in findings] == ["DET001", "DET001", "DET001"]
+    assert findings[0].line == 6  # fixture has a leading blank line
+
+
+def test_det001_allows_perf_counter_and_sim_time(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+
+        def run(sim):
+            started = time.perf_counter()
+            now = sim.now
+            return time.perf_counter() - started, now
+    """)
+    assert findings == []
+
+
+def test_det001_resolves_import_aliases(tmp_path):
+    findings = lint(tmp_path, """
+        import time as clock
+        from time import monotonic as mono
+
+        def run():
+            return clock.time() + mono()
+    """)
+    assert [f.rule for f in findings] == ["DET001", "DET001"]
+
+
+def test_det001_ignores_unrelated_attributes(tmp_path):
+    # A non-module object that happens to be named `time` must not resolve.
+    findings = lint(tmp_path, """
+        def run(metrics):
+            return metrics.time()
+    """)
+    assert findings == []
+
+
+def test_det001_inline_suppression(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+
+        def run():
+            return time.time()  # lint: allow=DET001
+    """)
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# DET002 — unseeded / module-global RNG
+
+
+def test_det002_flags_global_rng_and_entropy(tmp_path):
+    findings = lint(tmp_path, """
+        import os
+        import random
+        import uuid
+
+        def run():
+            a = random.random()
+            b = random.Random()
+            c = os.urandom(8)
+            d = uuid.uuid4()
+            random.shuffle([1, 2])
+            return a, b, c, d
+    """)
+    assert [f.rule for f in findings] == ["DET002"] * 5
+
+
+def test_det002_allows_seeded_rng(tmp_path):
+    findings = lint(tmp_path, """
+        import random
+
+        def run(seed):
+            rng = random.Random(seed)
+            other = random.Random(0)
+            return rng.random() + other.expovariate(1.0)
+    """)
+    assert findings == []
+
+
+def test_det002_flags_from_import(tmp_path):
+    findings = lint(tmp_path, """
+        from random import Random, randint
+
+        def run():
+            return Random(), randint(0, 3)
+    """)
+    assert [f.rule for f in findings] == ["DET002", "DET002"]
+
+
+# ---------------------------------------------------------------------------
+# DET003 — unordered iteration
+
+
+def test_det003_flags_set_iteration(tmp_path):
+    findings = lint(tmp_path, """
+        def run(items):
+            seen = set(items)
+            out = []
+            for item in seen:
+                out.append(item)
+            for item in {1, 2, 3}:
+                out.append(item)
+            return out, [x for x in set(items)], list(frozenset(items))
+    """)
+    assert [f.rule for f in findings] == ["DET003"] * 4
+
+
+def test_det003_allows_sorted_and_order_free(tmp_path):
+    findings = lint(tmp_path, """
+        def run(items):
+            seen = set(items)
+            total = sum(seen)           # order-free consumer
+            top = max(x for x in seen)  # order-free consumer
+            bound = len(seen)
+            ordered = sorted(seen)      # iterating sorted(), not the set
+            for item in sorted(set(items)):
+                total += item
+            return total, top, bound, ordered, 3 in seen
+    """)
+    assert findings == []
+
+
+def test_det003_membership_and_mutation_only_is_fine(tmp_path):
+    findings = lint(tmp_path, """
+        def run(ops):
+            done = set()
+            for op in ops:
+                if op in done:
+                    continue
+                done.add(op)
+            return len(done)
+    """)
+    assert findings == []
+
+
+def test_det003_set_returning_annotation_crosses_modules(tmp_path):
+    companions = [("helpers.py", """
+        from typing import Set
+
+        def up_nodes(names) -> Set[str]:
+            return set(names)
+    """)]
+    findings = lint(tmp_path, """
+        from helpers import up_nodes
+
+        def run(names):
+            return [n for n in up_nodes(names)]
+    """, companions=companions)
+    assert rules_of(findings) == ["DET003"]
+    # ... and sorted() absorbs it
+    clean = lint(tmp_path, """
+        from helpers import up_nodes
+
+        def run(names):
+            return sorted(up_nodes(names))
+    """, companions=companions)
+    assert clean == []
+
+
+def test_det003_reassigned_name_is_not_flagged(tmp_path):
+    findings = lint(tmp_path, """
+        def run(items, flag):
+            values = set(items)
+            if flag:
+                values = sorted(items)
+            return [v for v in values]
+    """)
+    assert findings == []
+
+
+def test_det003_self_attribute_set(tmp_path):
+    findings = lint(tmp_path, """
+        class Tracker:
+            def __init__(self):
+                self.pending = set()
+
+            def drain(self):
+                return [p for p in self.pending]
+
+            def drain_sorted(self):
+                return sorted(self.pending)
+    """)
+    assert [f.rule for f in findings] == ["DET003"]
+
+
+# ---------------------------------------------------------------------------
+# OBS001 — span / event contracts
+
+
+def test_obs001_span_outside_with(tmp_path):
+    findings = lint(tmp_path, """
+        def run(tracer, now):
+            span = tracer.span("fetch", now)
+            return span
+    """)
+    assert [f.rule for f in findings] == ["OBS001"]
+
+
+def test_obs001_span_as_context_manager_ok(tmp_path):
+    findings = lint(tmp_path, """
+        def run(tracer, stack, now):
+            with tracer.span("fetch", now) as span:
+                span.annotate(blocks=3)
+            managed = stack.enter_context(tracer.span("flush", now))
+            return managed
+    """)
+    assert findings == []
+
+
+def test_obs001_unregistered_event_kind(tmp_path):
+    findings = lint(tmp_path, """
+        def run(tracer, now):
+            tracer.emit("totally.unknown", now, key=1)
+    """)
+    assert [f.rule for f in findings] == ["OBS001"]
+    assert "totally.unknown" in findings[0].message
+
+
+def test_obs001_registered_kinds_pass(tmp_path):
+    findings = lint(tmp_path, """
+        from repro.obs.events import register_kind
+
+        MY_KIND = register_kind("fixture.kind")
+
+        def run(tracer, now):
+            tracer.emit(MY_KIND, now)
+            tracer.emit("fixture.kind", now)
+    """)
+    assert findings == []
+
+
+def test_obs001_core_vocabulary_resolves_across_modules(tmp_path):
+    # Constants imported from a scanned events module resolve to their
+    # literal values; registered ones pass, unknown ones fail.
+    companions = [("evmod.py", """
+        GOOD = "lookup.hit"
+
+        def register_kind(kind):
+            return kind
+
+        REGISTERED = register_kind("lookup.hit")
+    """)]
+    findings = lint(tmp_path, """
+        from evmod import REGISTERED
+
+        def run(tracer, now):
+            tracer.emit(REGISTERED, now)
+    """, companions=companions)
+    assert findings == []
+
+
+def test_obs001_skips_non_tracer_emit(tmp_path):
+    findings = lint(tmp_path, """
+        def run(signal_bus, now):
+            signal_bus.emit("not.an.event", now)
+    """)
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# KEY001 — hand-packed keys
+
+
+def test_key001_flags_raw_packers_and_shifts(tmp_path):
+    findings = lint(tmp_path, """
+        import hashlib
+        from repro.dht.keyspace import hash_to_key, key_from_bytes
+
+        BLOCK_NUMBER_BYTES = 8
+
+        def bad_keys(name, prefix, block, version):
+            a = hash_to_key(name.encode())
+            b = key_from_bytes(b"x" * 64)
+            c = prefix | (block << 32) | version
+            d = prefix | (block << (8 * BLOCK_NUMBER_BYTES))
+            e = int.from_bytes(hashlib.sha512(name.encode()).digest(), "big")
+            return a, b, c, d, e
+    """)
+    assert [f.rule for f in findings] == ["KEY001"] * 5
+
+
+def test_key001_allows_sanctioned_api_and_size_constants(tmp_path):
+    findings = lint(tmp_path, """
+        import hashlib
+        from repro.core.keys import compose_block_key, encode_path_key
+        from repro.dht.consistent_hashing import hashed_key
+
+        MEMO_MAX = 1 << 17
+        BIG = 8 << 20
+
+        def good_keys(volume, slots, block, version, name):
+            prefix = encode_path_key(volume, slots)
+            k1 = compose_block_key(prefix, block, version)
+            k2 = hashed_key(name)
+            sig = int.from_bytes(hashlib.sha256(name.encode()).digest()[:20], "big")
+            return k1, k2, sig, MEMO_MAX, BIG
+    """)
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# whole-tree invariant: the shipped source stays clean
+
+
+def test_repo_source_is_lint_clean():
+    rc = main([REPO_SRC, "--no-baseline", "--quiet"])
+    assert rc == EXIT_CLEAN
+
+
+# ---------------------------------------------------------------------------
+# baseline round-trip
+
+
+VIOLATING = """
+import time
+
+def run():
+    return time.time()
+"""
+
+CLEAN = """
+import time
+
+def run():
+    return time.perf_counter()
+"""
+
+
+def test_baseline_add_and_expire_round_trip(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    base = tmp_path / "baseline.json"
+    target.write_text(textwrap.dedent(VIOLATING))
+
+    # 1. violation fails without a baseline
+    assert main([str(target), "--baseline", str(base)]) == EXIT_VIOLATIONS
+    # 2. grandfather it
+    assert main([str(target), "--baseline", str(base), "--update-baseline"]) == EXIT_CLEAN
+    loaded = Baseline.load(str(base))
+    assert len(loaded) == 1
+    # 3. suppressed now, even under --strict
+    assert main([str(target), "--baseline", str(base), "--strict"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "[baselined]" in out
+    # 4. fix the code: entry goes stale — strict fails, default run warns
+    target.write_text(textwrap.dedent(CLEAN))
+    assert main([str(target), "--baseline", str(base)]) == EXIT_CLEAN
+    assert "stale" in capsys.readouterr().out
+    assert main([str(target), "--baseline", str(base), "--strict"]) == EXIT_VIOLATIONS
+    # 5. refresh: baseline shrinks to the goal state (empty)
+    assert main([str(target), "--baseline", str(base), "--update-baseline"]) == EXIT_CLEAN
+    assert len(Baseline.load(str(base))) == 0
+    assert main([str(target), "--baseline", str(base), "--strict"]) == EXIT_CLEAN
+
+
+def test_baseline_fingerprint_survives_line_drift(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(textwrap.dedent(VIOLATING))
+    module = parse_module(str(target))
+    findings = run_rules([module])
+    before = fingerprint(findings[0], module.line(findings[0].line))
+
+    # Prepend a comment block: line numbers shift, the fingerprint must not.
+    target.write_text("# header\n# more\n" + textwrap.dedent(VIOLATING))
+    module = parse_module(str(target))
+    findings = run_rules([module])
+    assert findings[0].line != 5 or True  # lines moved
+    after = fingerprint(findings[0], module.line(findings[0].line))
+    assert before == after
+
+
+def test_baseline_rejects_garbage(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{not json")
+    with pytest.raises(LintToolError):
+        Baseline.load(str(bad))
+    bad.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(LintToolError):
+        Baseline.load(str(bad))
+
+
+# ---------------------------------------------------------------------------
+# JSON report schema
+
+
+def test_json_report_schema(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text(textwrap.dedent(VIOLATING))
+    rc = main([str(target), "--no-baseline", "--json"])
+    assert rc == EXIT_VIOLATIONS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["tool"] == "repro.lint"
+    assert payload["files_scanned"] == 1
+    assert set(payload["summary"]) == {"DET001", "DET002", "DET003", "OBS001", "KEY001"}
+    assert payload["summary"]["DET001"] == 1
+    (finding,) = payload["findings"]
+    assert set(finding) == {"rule", "path", "line", "col", "message", "hint"}
+    assert payload["suppressed"] == []
+    assert payload["stale_baseline"] == []
+
+
+# ---------------------------------------------------------------------------
+# exit-code contract: violations (1) vs tool errors (2)
+
+
+def test_exit_codes_distinguish_violations_from_tool_errors(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text(textwrap.dedent(CLEAN))
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(textwrap.dedent(VIOLATING))
+
+    assert main([str(clean), "--no-baseline"]) == EXIT_CLEAN
+    assert main([str(dirty), "--no-baseline"]) == EXIT_VIOLATIONS
+    # missing path -> tool error
+    assert main([str(tmp_path / "missing.py"), "--no-baseline"]) == EXIT_TOOL_ERROR
+    # syntax error in a scanned file -> tool error, reported on stderr
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert main([str(broken), "--no-baseline"]) == EXIT_TOOL_ERROR
+    assert "cannot parse" in capsys.readouterr().err
+    # unknown rule id -> tool error
+    assert main([str(clean), "--rules", "NOPE99"]) == EXIT_TOOL_ERROR
+    # unreadable baseline -> tool error
+    bad = tmp_path / "bad.json"
+    bad.write_text("[]")
+    assert main([str(clean), "--baseline", str(bad)]) == EXIT_TOOL_ERROR
+
+
+def test_rule_selection(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(textwrap.dedent(VIOLATING))
+    assert main([str(target), "--no-baseline", "--rules", "DET002"]) == EXIT_CLEAN
+    assert main([str(target), "--no-baseline", "--rules", "det001"]) == EXIT_VIOLATIONS

@@ -1,10 +1,8 @@
 """Model-based (stateful) tests: caches vs brute-force reference models."""
 
-import random
-
 from hypothesis import settings
 from hypothesis import strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.core.lookup_cache import LookupCache
 from repro.dht.keyspace import in_interval

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.keys import FIRST_USABLE_SLOT, MAX_PATH_LEVELS
-from repro.fs.namespace import Directory, FileNode, Namespace, NamespaceError, split_path
+from repro.fs.namespace import Directory, Namespace, NamespaceError, split_path
 
 
 class TestSplitPath:

@@ -2,11 +2,9 @@
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.keys import FIRST_USABLE_SLOT
 from repro.dht.keyspace import KEY_SPACE
 from repro.dht.load_balance import KargerRuhlBalancer
 from repro.dht.ring import Ring

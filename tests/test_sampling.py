@@ -1,6 +1,5 @@
 """Tests for Mercury-style random-walk node sampling."""
 
-import math
 import random
 
 import pytest

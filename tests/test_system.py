@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import D2Config
-from repro.core.system import SYSTEMS, Deployment, build_deployment
+from repro.core.system import SYSTEMS, build_deployment
 from repro.fs.blocks import BLOCK_SIZE
 from repro.workloads.trace import READ, CREATE, TraceRecord
 

@@ -4,8 +4,6 @@ import pytest
 
 from repro.workloads.tasks import (
     TASK_DURATION_CAP,
-    AccessGroup,
-    Task,
     segment_access_groups,
     segment_tasks,
     task_statistics,

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.sim.network import LatencyModel
-from repro.sim.transport import INITIAL_WINDOW_BYTES, MIN_RTO, TcpTransport
+from repro.sim.transport import MIN_RTO, TcpTransport
 
 
 def make_transport(n=4, seed=0):
