@@ -1,0 +1,33 @@
+"""Churn storm: membership dynamics, bandwidth-capped repair, durability."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.churn_storm import format_churn_storm, run_churn_storm
+
+
+def test_churn_storm(benchmark):
+    rows = run_once(benchmark, run_churn_storm)
+    print()
+    print(format_churn_storm(rows))
+    by_level = {row["level"]: row for row in rows if row["correlated"] == 0}
+    assert set(by_level) == {"calm", "steady", "storm"}
+    for row in rows:
+        # Membership actually changed: the storm is not a no-op.
+        assert row["joins"] + row["leaves"] + row["crashes"] > 0
+        # Repair keeps up after the drain window: backlog goes to zero and
+        # (nearly) every surviving block is back at full replication.
+        assert row["backlog_drained"] == 0
+        assert row["fully_replicated"] >= 0.98
+        # Loss is rare — a graceful-leave-only run would be zero; crashes
+        # can lose blocks only when a whole replica group dies inside one
+        # repair window.
+        assert row["loss_prob"] <= 0.05
+    # Heavier storms do strictly more membership work.
+    ops = {
+        level: row["joins"] + row["leaves"] + row["crashes"]
+        for level, row in by_level.items()
+    }
+    assert ops["storm"] > ops["calm"]
+    # Correlated outages add crashes on top of the storm's own.
+    paired = {(row["level"], row["correlated"]): row for row in rows}
+    if ("steady", 3) in paired:
+        assert paired[("steady", 3)]["crashes"] > paired[("steady", 0)]["crashes"]

@@ -100,9 +100,23 @@ def _runners() -> Dict[str, Runner]:
         return format_fig15(run_fig15())
 
     def table3() -> str:
-        from repro.experiments.table3_churn import format_table3, run_table3
+        from repro.experiments.table3_churn import (
+            format_table3,
+            format_table3_dynamic,
+            run_table3,
+            run_table3_dynamic,
+        )
 
-        return format_table3(run_table3())
+        return (
+            format_table3(run_table3())
+            + "\n\n"
+            + format_table3_dynamic(run_table3_dynamic())
+        )
+
+    def churn() -> str:
+        from repro.experiments.churn_storm import format_churn_storm, run_churn_storm
+
+        return format_churn_storm(run_churn_storm())
 
     def fig16() -> str:
         from repro.experiments.fig16_imbalance_harvard import (
@@ -188,7 +202,8 @@ def _runners() -> Dict[str, Runner]:
         "fig13": ("Figure 13: cache miss rates", fig13),
         "fig14": ("Figure 14: latency scatter vs traditional", fig14),
         "fig15": ("Figure 15: latency scatter vs traditional-file", fig15),
-        "table3": ("Table 3: daily churn ratios", table3),
+        "table3": ("Table 3: daily churn ratios (static + dynamic ring)", table3),
+        "churn": ("Churn storm: join/leave/crash matrix", churn),
         "fig16": ("Figure 16: imbalance, Harvard", fig16),
         "fig17": ("Figure 17: imbalance, Webcache", fig17),
         "table4": ("Table 4: write vs migration traffic", table4),

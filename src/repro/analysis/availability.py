@@ -6,11 +6,13 @@ the Harvard-like workload through one of the comparison systems while nodes
 fail and recover according to a failure trace, and reports the fraction of
 failed tasks.
 
-Replica-availability model
---------------------------
-A key's replica group is its ``r`` ring successors (membership does not
+Replica-availability models
+---------------------------
+Two models answer "is this key readable now?":
+
+**Static ring (the paper's first-order model).**  Membership does not
 shrink on failure — transient PlanetLab-style failures keep data on disk,
-so a recovered node serves again immediately).  A key is available when
+so a recovered node serves again immediately.  A key is available when
 
 * any of its ``r`` successors is up, **or**
 * (with regeneration enabled) the whole group has been down long enough
@@ -19,6 +21,15 @@ so a recovered node serves again immediately).  A key is available when
   750 kbps per-node migration cap — the same first-order model the paper's
   simulator applies; the paper notes regeneration only *raises* per-group
   availability above the no-regeneration baseline.
+
+**Dynamic ring (simulated repair).**  With ``dynamic=True`` the failure
+trace drives real membership change through
+:class:`repro.dht.membership.MembershipService`: a down transition crashes
+the node (ring leave + physical copies destroyed) and an up transition
+rejoins it empty.  Availability is then read straight off the
+:class:`repro.store.repair.ReplicaTracker` — a key is available iff a
+live copy exists *right now* — so repair latency, bandwidth backlog, and
+genuine data loss replace the closed-form delay.
 
 Dependencies counted per task are file blocks (data + inode); directory
 metadata is client-cached (see :mod:`repro.core.system`).  D2 keeps its
@@ -73,7 +84,14 @@ class AvailabilityResult:
 
 
 class ReplicaAvailability:
-    """Answers "is this key readable now?" against ring + failure state."""
+    """Answers "is this key readable now?" against ring + failure state.
+
+    With *repair* (a :class:`repro.store.repair.RepairScheduler`), the
+    check consults actually-simulated replica state instead of the
+    closed-form regeneration model: a key is available iff its tracker
+    records at least one live physical copy (copies on crashed nodes are
+    destroyed at crash time, so the tracker only ever names live holders).
+    """
 
     def __init__(
         self,
@@ -83,17 +101,24 @@ class ReplicaAvailability:
         regeneration: bool = True,
         migration_bandwidth_bps: float = 93750.0,  # 750 kbps
         regeneration_delay_override: Optional[float] = None,
+        repair=None,
     ) -> None:
         self._deployment = deployment
         self._failures = failures
         self._regeneration = regeneration
         self._bandwidth = migration_bandwidth_bps
         self._delay_override = regeneration_delay_override
+        self._repair = repair
         self.checks = 0
         self.misses = 0
 
     def key_available(self, key: int, now: float) -> bool:
         self.checks += 1
+        if self._repair is not None:
+            if self._repair.tracker.live_count(key) > 0:
+                return True
+            self.misses += 1
+            return False
         ring = self._deployment.ring
         replicas = self._deployment.config.replica_count
         group = ring.successors(key, replicas)
@@ -166,10 +191,14 @@ def run_availability_replay(
     regeneration: bool = True,
     regeneration_delay: Optional[float] = None,
     stabilize_rounds: int = 300,
+    dynamic: bool = False,
 ) -> ReplayLog:
     """Replay *trace* through *system* under *failures* once.
 
     ``trial`` seeds node IDs (the paper runs 5 trials with random IDs).
+    With ``dynamic=True`` the failure trace is replayed as real membership
+    change (crash/rejoin protocols with simulated repair) instead of the
+    static up/down overlay.
     """
     config = config or D2Config()
     deployment = build_deployment(
@@ -180,12 +209,19 @@ def run_availability_replay(
     deployment.store.ledger = type(deployment.store.ledger)()  # reset accounting
     deployment.start_periodic_balancing()
 
+    repair = None
+    if dynamic:
+        membership = deployment.enable_dynamic_membership()
+        membership.schedule_failure_trace(failures)
+        repair = deployment.repair
+
     checker = ReplicaAvailability(
         deployment,
         failures,
         regeneration=regeneration,
         migration_bandwidth_bps=config.migration_bandwidth_bps,
         regeneration_delay_override=regeneration_delay,
+        repair=repair,
     )
 
     log = ReplayLog(system=system, trial=trial, ok={}, blocks={}, owners={}, skipped_records=0)

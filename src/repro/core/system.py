@@ -138,6 +138,45 @@ class Deployment:
             )
         self._probe_task: Optional[PeriodicTask] = None
         self._lookup_caches: Dict[str, LookupCache] = {}
+        self.seed = seed
+        self.membership = None  # MembershipService, set by enable_dynamic_membership
+        self.repair = None      # RepairScheduler, set alongside it
+
+    def enable_dynamic_membership(self, *, min_nodes: Optional[int] = None):
+        """Attach live join/leave/crash protocols with replica repair.
+
+        Builds the :class:`repro.store.repair.RepairScheduler` (bandwidth
+        capped at the config's migration rate) and the
+        :class:`repro.dht.membership.MembershipService`, seeds the replica
+        tracker from the already-loaded directory, and returns the service.
+        Idempotent; call after :meth:`load_initial_image`/:meth:`stabilize`
+        so the seeded copies reflect the settled ring.
+        """
+        if self.membership is not None:
+            return self.membership
+        from repro.dht.membership import MembershipService
+        from repro.store.repair import RepairScheduler
+
+        self.repair = RepairScheduler(
+            self.store,
+            self.sim,
+            bandwidth_bps=self.config.migration_bandwidth_bps,
+            registry=self.metrics,
+            tracer=self.tracer,
+            spans=self.spans,
+        )
+        self.repair.seed_from_directory()
+        self.membership = MembershipService(
+            self.ring,
+            self.store,
+            self.sim,
+            self.repair,
+            rng=random.Random(self.seed + 0x5EED),
+            min_nodes=min_nodes,
+            registry=self.metrics,
+            tracer=self.tracer,
+        )
+        return self.membership
 
     # ------------------------------------------------------------------
     # setup

@@ -4,6 +4,13 @@ Paper shape: Harvard writes and removes ~10–20% of stored bytes per day;
 Webcache can write 100%–1300% of stored bytes in a day and removes
 everything present at a day's start by its end (ratios ≥ ~0.8, sometimes
 far above 1).
+
+The dynamic-ring variant (:func:`run_table3_dynamic`) reruns the Harvard
+ratios with live membership change — a steady join/leave/crash storm
+driven through :class:`repro.dht.membership.MembershipService` — and adds
+the repair traffic replica re-replication injects per day (``Rep_over_T``),
+the cost column the static table cannot have.  The W/R ratios should hold
+their paper shape under churn; repair traffic is the price of it.
 """
 
 from __future__ import annotations
@@ -12,6 +19,8 @@ from typing import List
 
 from repro.experiments import common
 from repro.experiments.balance_runs import harvard_balance_matrix, webcache_balance_matrix
+
+SECONDS_PER_DAY = 86400.0
 
 
 def run_table3(**kwargs) -> List[dict]:
@@ -32,6 +41,113 @@ def run_table3(**kwargs) -> List[dict]:
     return rows
 
 
+def run_table3_dynamic(
+    *,
+    users: int = 4,
+    days: float = 2.0,
+    n_nodes: int = 32,
+    join_rate: float = 2.0,
+    leave_rate: float = 1.0,
+    crash_rate: float = 1.0,
+    seed: int = common.SEED,
+) -> List[dict]:
+    """Harvard daily churn ratios on a *dynamic* ring, plus repair cost.
+
+    Replays the Harvard trace while a steady membership storm runs, and
+    buckets write / remove / repair bytes per day against the bytes present
+    at that day's start.  One extra column per day: ``Rep_over_T``, the
+    repair + graceful-handoff traffic re-replication injected.
+    """
+
+    def compute() -> List[dict]:
+        from repro.core.system import build_deployment
+        from repro.experiments.workload_cache import harvard_trace
+        from repro.sim.failures import ChurnStormConfig
+
+        trace = harvard_trace(users=users, days=days, seed=seed)
+        deployment = build_deployment("d2", n_nodes, seed=seed)
+        deployment.load_initial_image(trace)
+        deployment.stabilize()
+        deployment.store.ledger = type(deployment.store.ledger)()  # reset accounting
+        membership = deployment.enable_dynamic_membership()
+        membership.schedule_churn_storm(
+            ChurnStormConfig(
+                duration=days * SECONDS_PER_DAY,
+                join_rate=join_rate,
+                leave_rate=leave_rate,
+                crash_rate=crash_rate,
+            )
+        )
+        deployment.start_periodic_balancing()
+        repair = deployment.repair
+
+        n_days = max(1, int(round(days)))
+        day_start_bytes: List[int] = []
+        repair_bytes_at: List[int] = []
+        churn_ops_at: List[int] = []
+
+        def sample_day_start() -> None:
+            day_start_bytes.append(deployment.store.directory.total_bytes)
+            repair_bytes_at.append(
+                repair.stats.repaired_bytes + repair.stats.handoff_bytes
+            )
+            churn_ops_at.append(
+                int(
+                    deployment.metrics.counter("membership.joins").value
+                    + deployment.metrics.counter("membership.leaves").value
+                    + deployment.metrics.counter("membership.crashes").value
+                )
+            )
+
+        sample_day_start()
+        next_day = 1
+        for record in trace.records:
+            while next_day < n_days and record.time >= next_day * SECONDS_PER_DAY:
+                deployment.advance_to(next_day * SECONDS_PER_DAY)
+                sample_day_start()
+                next_day += 1
+            deployment.advance_to(record.time)
+            deployment.replay_record(record)
+        while next_day < n_days:
+            deployment.advance_to(next_day * SECONDS_PER_DAY)
+            sample_day_start()
+            next_day += 1
+        deployment.advance_to(days * SECONDS_PER_DAY)
+        sample_day_start()  # end-of-run sample closes the last day's deltas
+
+        rows: List[dict] = []
+        series = deployment.store.ledger.daily_series(n_days)
+        for day, entry in enumerate(series):
+            present = day_start_bytes[day]
+            repaired = repair_bytes_at[day + 1] - repair_bytes_at[day]
+            rows.append(
+                {
+                    "workload": "Harvard (dynamic)",
+                    "day": entry["day"],
+                    "W_over_T": entry["written"] / present if present else float("inf"),
+                    "R_over_T": entry["removed"] / present if present else float("inf"),
+                    "Rep_over_T": repaired / present if present else float("inf"),
+                    "churn_ops": churn_ops_at[day + 1] - churn_ops_at[day],
+                    "lost_keys": repair.stats.lost_keys,
+                }
+            )
+        return rows
+
+    return common.cached(
+        (
+            "table3-dynamic",
+            users,
+            days,
+            n_nodes,
+            join_rate,
+            leave_rate,
+            crash_rate,
+            seed,
+        ),
+        compute,
+    )
+
+
 def format_table3(rows: List[dict]) -> str:
     return common.format_table(
         rows,
@@ -40,5 +156,23 @@ def format_table3(rows: List[dict]) -> str:
     )
 
 
+def format_table3_dynamic(rows: List[dict]) -> str:
+    return common.format_table(
+        rows,
+        [
+            "workload",
+            "day",
+            "W_over_T",
+            "R_over_T",
+            "Rep_over_T",
+            "churn_ops",
+            "lost_keys",
+        ],
+        title="Table 3 (dynamic ring): daily ratios under live join/leave/crash churn",
+    )
+
+
 if __name__ == "__main__":
     print(format_table3(run_table3()))
+    print()
+    print(format_table3_dynamic(run_table3_dynamic()))

@@ -125,6 +125,14 @@ def webcache_balance_cell(params: Dict[str, Any]) -> Any:
     )
 
 
+@cell_kind("churn")
+def churn_cell(params: Dict[str, Any]) -> Any:
+    """One (storm level, correlated, trial) cell of the churn-storm matrix."""
+    from repro.experiments.churn_storm import run_churn_cell
+
+    return run_churn_cell(params)
+
+
 @cell_kind("availability")
 def availability_cell(params: Dict[str, Any]) -> Dict[float, Any]:
     """One (system, trial) availability replay, evaluated at every *inter*.

@@ -135,6 +135,57 @@ class FailureTrace:
         return iter(self.events)
 
 
+@dataclass(frozen=True)
+class ChurnStormConfig:
+    """Sustained membership churn: Poisson join/leave/kill arrivals.
+
+    Rates are events per hour across the whole system (production DHTs see
+    continuous arrivals, not the daily-rate churn of Table 3).  A
+    :class:`FailureTraceConfig`-style correlated outage can be layered on
+    top by the churn harness; this config covers only the independent
+    streams.
+    """
+
+    duration: float = SECONDS_PER_DAY
+    join_rate: float = 2.0    # joins per hour
+    leave_rate: float = 1.0   # graceful leaves per hour
+    crash_rate: float = 1.0   # abrupt kills per hour
+
+
+@dataclass(frozen=True)
+class ChurnOp:
+    """One scheduled membership operation (victim chosen at fire time)."""
+
+    time: float
+    op: str  # "join" | "leave" | "crash"
+
+
+def generate_churn_ops(
+    config: ChurnStormConfig, rng: random.Random
+) -> List[ChurnOp]:
+    """Merged, time-sorted Poisson streams of join/leave/crash operations.
+
+    Each stream is generated independently with exponential inter-arrival
+    times, then merged; ties break by op name so the schedule is a pure
+    function of (config, rng seed).
+    """
+    ops: List[ChurnOp] = []
+    for op, rate_per_hour in (
+        ("join", config.join_rate),
+        ("leave", config.leave_rate),
+        ("crash", config.crash_rate),
+    ):
+        if rate_per_hour <= 0:
+            continue
+        mean_gap = 3600.0 / rate_per_hour
+        t = rng.expovariate(1.0 / mean_gap)
+        while t < config.duration:
+            ops.append(ChurnOp(time=t, op=op))
+            t += rng.expovariate(1.0 / mean_gap)
+    ops.sort(key=lambda o: (o.time, o.op))
+    return ops
+
+
 def events_from_intervals(
     intervals: Dict[str, List[Tuple[float, float]]], duration: float
 ) -> List[FailureEvent]:

@@ -134,6 +134,16 @@ class StorageCoordinator:
         self.replica_count = replica_count
         self.moves_executed = 0
         self._expires_at: Dict[int, float] = {}
+        self._removes_at: Dict[int, float] = {}
+        self._h_stabilization = self.metrics.histogram("pointer.stabilization_seconds")
+        # Optional repro.store.repair.ReplicaTracker: when a churn harness
+        # attaches one, the write/remove/migrate paths keep it in sync so
+        # crash protocols know exactly which copies each node held.
+        self._replica_tracker = None
+        # Optional (lo, hi) callback: balancing moves shift replica groups
+        # (the mover enters and leaves successor groups), so an attached
+        # repair scheduler must re-derive those arcs' replica placement.
+        self._reconcile_ranges = None
 
     # ------------------------------------------------------------------
     # client-facing data path
@@ -150,6 +160,11 @@ class StorageCoordinator:
         self.ledger.record_write(self.sim.now, max(delta, size))
         self._c_writes.inc()
         self._c_written_bytes.inc(max(delta, size))
+        # A write during a removal grace window rescues the block: the
+        # pending removal event is disarmed (its deadline guard fails).
+        self._removes_at.pop(key, None)
+        if self._replica_tracker is not None:
+            self._replica_tracker.place(key, self.holders(key))
         if ttl is not None:
             self._set_expiry(key, ttl)
         elif key in self._expires_at:
@@ -185,27 +200,48 @@ class StorageCoordinator:
             self.ledger.record_remove(self.sim.now, size)
             self._c_removes.inc()
             self._c_removed_bytes.inc(size)
+            if self._replica_tracker is not None:
+                self._replica_tracker.forget(key)
 
     def remove(self, key: int, *, delay: Optional[float] = None) -> None:
         """Remove a block after the grace period (default: removal_delay).
 
         Removal is idempotent with respect to the grace window: if the key
-        is gone by the time the event fires, nothing happens.
+        is gone by the time the event fires, nothing happens.  A re-write
+        during the grace window wins — it disarms the pending removal (the
+        scheduled event carries a deadline and only the newest removal's
+        deadline is authoritative, mirroring the TTL path's guard).
+        Removing also clears any TTL state so a stale expiry event cannot
+        later kill a re-written block.
         """
         wait = self.removal_delay if delay is None else delay
+        self._expires_at.pop(key, None)
 
-        def _expire() -> None:
+        def _discard() -> None:
             size = self.directory.discard(key)
             if size is not None:
                 self.physical_at.pop(key, None)
                 self.ledger.record_remove(self.sim.now, size)
                 self._c_removes.inc()
                 self._c_removed_bytes.inc(size)
+                if self._replica_tracker is not None:
+                    self._replica_tracker.forget(key)
 
         if wait <= 0:
-            _expire()
-        else:
-            self.sim.schedule(wait, _expire)
+            self._removes_at.pop(key, None)
+            _discard()
+            return
+
+        deadline = self.sim.now + wait
+        self._removes_at[key] = deadline
+
+        def _expire() -> None:
+            if self._removes_at.get(key) != deadline:
+                return  # superseded by a re-write or a newer removal
+            del self._removes_at[key]
+            _discard()
+
+        self.sim.schedule(wait, _expire)
 
     def holders(self, key: int) -> List[str]:
         """Replica group for *key*: its ``r`` distinct successors."""
@@ -248,6 +284,11 @@ class StorageCoordinator:
         """
         old_lo, old_hi = self.ring.range_of(mover)
         single_node = len(self.ring) == 1
+        old_replica_range = (
+            None
+            if self._reconcile_ranges is None
+            else self.ring.replica_range_of(mover, self.replica_count)
+        )
 
         self.ring.change_position(mover, new_id)
         self.moves_executed += 1
@@ -263,6 +304,13 @@ class StorageCoordinator:
                 self._hand_off(old_lo, old_hi, adopter)
         new_lo, new_hi = self.ring.range_of(mover)
         self._hand_off(new_lo, new_hi, mover)
+        if self._reconcile_ranges is not None:
+            # The mover left the replica groups of its old neighborhood and
+            # entered those of its new one; both arcs re-derive placement.
+            self._reconcile_ranges(*old_replica_range)
+            self._reconcile_ranges(
+                *self.ring.replica_range_of(mover, self.replica_count)
+            )
 
     # ------------------------------------------------------------------
     # movement mechanics
@@ -309,20 +357,28 @@ class StorageCoordinator:
             self._fetch_range(lo, hi)
 
     def _stabilize(self, record: PointerRange) -> None:
-        """Pointer stabilization: pull in any bytes still held elsewhere."""
-        if self.pointer_table.retire(record):
-            self._c_pointer_stabilized.inc()
-            self._record_span(
-                "pointer.stabilize", lo=record.lo, hi=record.hi, owner=record.owner
+        """Pointer stabilization: pull in any bytes still held elsewhere.
+
+        A record that fails to retire was already handled (force-flushed at
+        teardown, or superseded): its arc has been fetched by whoever
+        retired it, so re-scanning would only re-fire migration spans and
+        events for work that never happens.  Skip it.
+        """
+        if not self.pointer_table.retire(record):
+            return
+        self._c_pointer_stabilized.inc()
+        self._h_stabilization.observe(self.sim.now - record.adopted_at)
+        self._record_span(
+            "pointer.stabilize", lo=record.lo, hi=record.hi, owner=record.owner
+        )
+        if self._tracer is not None:
+            self._tracer.emit(
+                POINTER_FLUSH,
+                self.sim.now,
+                lo=record.lo,
+                hi=record.hi,
+                owner=record.owner,
             )
-            if self._tracer is not None:
-                self._tracer.emit(
-                    POINTER_FLUSH,
-                    self.sim.now,
-                    lo=record.lo,
-                    hi=record.hi,
-                    owner=record.owner,
-                )
         self._fetch_range(record.lo, record.hi)
 
     def _fetch_range(self, lo: int, hi: int) -> None:
@@ -338,6 +394,8 @@ class StorageCoordinator:
             if self.physical_at.get(key) != owner:
                 migrated += self.directory.size_of(key)
                 self.physical_at[key] = owner
+                if self._replica_tracker is not None:
+                    self._replica_tracker.add_copy(key, owner)
         if migrated:
             self.ledger.record_migration(self.sim.now, migrated)
             self._record_span("store.migrate", lo=lo, hi=hi, bytes=migrated)
@@ -350,6 +408,70 @@ class StorageCoordinator:
         """Force-stabilize everything (used at experiment teardown)."""
         for record in list(self.pointer_table.pending()):
             self._stabilize(record)
+
+    # ------------------------------------------------------------------
+    # membership support (repro.dht.membership / repro.store.repair)
+
+    def attach_replica_tracker(self, tracker) -> None:
+        """Keep *tracker* (:class:`repro.store.repair.ReplicaTracker`) in
+        sync with the write/remove/migrate paths from now on."""
+        self._replica_tracker = tracker
+
+    def attach_range_reconciler(self, callback) -> None:
+        """Invoke ``callback(lo, hi)`` whenever a move shifts replica groups.
+
+        The repair scheduler registers its ``reconcile_range`` here so that
+        balancing moves — which change successor groups just like joins and
+        leaves do — restore every affected key's replica placement.
+        """
+        self._reconcile_ranges = callback
+
+    def hand_off(self, lo: int, hi: int, adopter: str) -> None:
+        """Public pointer-adoption entry point for membership changes.
+
+        A graceful leave hands the departing node's arc to its successor;
+        a join hands the split arc to the joining node — both ride the
+        same deferred-migration path the load balancer's moves use.
+        """
+        self._hand_off(lo, hi, adopter)
+
+    def drop_pointer_records_of(self, owner: str) -> List[PointerRange]:
+        """Void every pending pointer record owned by *owner* (crashed).
+
+        Returns the dropped records so the caller can re-adopt their arcs
+        under the nodes now responsible.  The records' already-scheduled
+        stabilization events become no-ops through the identity guard, and
+        none of them count as stabilized.
+        """
+        dropped = list(self.pointer_table.pending_for(owner))
+        for record in dropped:
+            self.pointer_table.drop(record)
+        return dropped
+
+    def reassign_physical(self, key: int, holder: str) -> None:
+        """Point the primary copy's physical placement at *holder*.
+
+        Used by crash recovery (the primary's bytes now live on a
+        surviving replica) and by repair completion (the owner finished
+        re-materializing the primary copy).
+        """
+        self.physical_at[key] = holder
+
+    def destroy_block(self, key: int) -> Optional[int]:
+        """Drop a block whose last copy died; returns its size, or None.
+
+        Data *loss* is not a removal: the ledger's daily removal series
+        must not count destroyed bytes, so no removal accounting happens
+        here — the repair scheduler keeps its own loss ledger.
+        """
+        size = self.directory.discard(key)
+        if size is not None:
+            self.physical_at.pop(key, None)
+            self._expires_at.pop(key, None)
+            self._removes_at.pop(key, None)
+            if self._replica_tracker is not None:
+                self._replica_tracker.forget(key)
+        return size
 
     # ------------------------------------------------------------------
     # reporting

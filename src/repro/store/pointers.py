@@ -47,6 +47,7 @@ class PointerTable:
     _ranges: List[PointerRange] = field(default_factory=list)
     adopted_count: int = 0
     stabilized_count: int = 0
+    dropped_count: int = 0
 
     def adopt(self, lo: int, hi: int, owner: str, now: float) -> PointerRange:
         """Record that *owner* became responsible for ``(lo, hi]`` at *now*."""
@@ -60,13 +61,33 @@ class PointerTable:
 
         Returns False when the range was already retired (e.g. superseded
         by a later adoption or a force-flush), True otherwise.
+
+        Retirement matches by *identity*, not equality: two adoptions of
+        the same ``(lo, hi, owner)`` arc at the same instant produce equal
+        but distinct records, each with its own stabilization event, and
+        each event must retire exactly its own record.
         """
-        try:
-            self._ranges.remove(record)
-        except ValueError:
-            return False  # already retired
-        self.stabilized_count += 1
-        return True
+        for index, existing in enumerate(self._ranges):
+            if existing is record:
+                del self._ranges[index]
+                self.stabilized_count += 1
+                return True
+        return False  # already retired
+
+    def drop(self, record: PointerRange) -> bool:
+        """Remove a record without counting it as stabilized.
+
+        Used when a pending range's owner crashes: the adoption is void
+        (the arc re-adopts under the node now responsible), so it must not
+        inflate ``stabilized_count``.  Identity-matched like :meth:`retire`;
+        the record's already-scheduled stabilization event then no-ops.
+        """
+        for index, existing in enumerate(self._ranges):
+            if existing is record:
+                del self._ranges[index]
+                self.dropped_count += 1
+                return True
+        return False
 
     def pending(self) -> Tuple[PointerRange, ...]:
         return tuple(self._ranges)

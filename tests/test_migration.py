@@ -69,6 +69,69 @@ class TestRemoval:
         assert store.ledger.total_removed == 100
 
 
+class TestRemovalRaces:
+    """Regressions: the grace-window removal event carries a deadline guard."""
+
+    def test_rewrite_during_grace_window_survives(self):
+        ring, sim, store = make_system(removal_delay=30.0)
+        key = key_at(150)
+        store.write(key, 100)
+        store.remove(key)
+        sim.run(until=10.0)
+        store.write(key, 200)  # rescue: disarms the pending removal
+        sim.run(until=100.0)
+        assert key in store.directory
+        assert store.ledger.total_removed == 0
+        assert store.ledger.total_written == 300
+
+    def test_newer_removal_supersedes_older(self):
+        ring, sim, store = make_system(removal_delay=30.0)
+        key = key_at(150)
+        store.write(key, 100)
+        store.remove(key)  # deadline t=30
+        sim.run(until=10.0)
+        store.remove(key)  # deadline t=40 wins
+        sim.run(until=35.0)
+        assert key in store.directory  # the stale t=30 event no-opped
+        sim.run(until=41.0)
+        assert key not in store.directory
+        assert store.ledger.total_removed == 100  # counted exactly once
+
+    def test_remove_clears_ttl_state(self):
+        ring, sim, store = make_system()
+        key = key_at(150)
+        store.write(key, 100, ttl=50.0)
+        store.remove(key, delay=0)
+        assert store.expiry_of(key) is None  # no TTL leak for a dead key
+
+    def test_stale_ttl_cannot_kill_rewritten_block(self):
+        ring, sim, store = make_system(removal_delay=30.0)
+        key = key_at(150)
+        store.write(key, 100, ttl=45.0)
+        store.remove(key)  # clears TTL state; grace window runs to t=30
+        sim.run(until=10.0)
+        store.write(key, 100)  # rescued, no TTL
+        sim.run(until=1000.0)  # both the t=30 removal and t=45 TTL no-op
+        assert key in store.directory
+        assert store.ledger.total_removed == 0
+
+
+class TestStabilizeAfterFlush:
+    def test_stabilize_event_after_flush_is_noop(self):
+        ring, sim, store = make_system(pointer_stabilization_time=3600.0)
+        for t in (150, 155, 160, 165):
+            store.write(key_at(t), 1000)
+        store.execute_move("n0", key_at(155))
+        store.flush_all_pointers()
+        migrated = store.ledger.total_migrated
+        stabilized = store.pointer_table.stabilized_count
+        counted = store.metrics.counter("pointer.stabilized").value
+        sim.run(until=7200.0)  # the originally-scheduled events fire now
+        assert store.ledger.total_migrated == migrated
+        assert store.pointer_table.stabilized_count == stabilized
+        assert store.metrics.counter("pointer.stabilized").value == counted
+
+
 class TestBalanceCoordinatorProtocol:
     def test_primary_load_counts_arc(self):
         ring, sim, store = make_system()

@@ -29,6 +29,30 @@ class TestPointerTable:
         table.retire(record)
         assert table.stabilized_count == 1
 
+    def test_retire_matches_identity_not_equality(self):
+        # Two adoptions of the same arc at the same instant are equal but
+        # distinct records; each stabilization event must retire its own.
+        table = PointerTable()
+        first = table.adopt(10, 20, "n1", now=0.0)
+        second = table.adopt(10, 20, "n1", now=0.0)
+        assert first == second and first is not second
+        assert table.retire(first)
+        assert table.pending() == (second,)
+        assert table.pending()[0] is second
+        assert table.retire(second)
+        assert not table.retire(first)  # both gone; stale events no-op
+        assert table.stabilized_count == 2
+
+    def test_drop_does_not_count_as_stabilized(self):
+        table = PointerTable()
+        record = table.adopt(10, 20, "n1", now=0.0)
+        assert table.drop(record)
+        assert len(table) == 0
+        assert table.dropped_count == 1
+        assert table.stabilized_count == 0
+        assert not table.retire(record)  # its stabilization event no-ops
+        assert not table.drop(record)
+
     def test_pending_for_owner(self):
         table = PointerTable()
         table.adopt(10, 20, "n1", 0.0)
