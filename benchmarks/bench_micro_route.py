@@ -1,0 +1,118 @@
+"""Microbenchmarks of the routing fast paths added for the scale engine.
+
+Three comparisons, each also asserted as a shape claim so a regression
+that silently disables the fast path fails the bench suite rather than
+just slowing it down:
+
+* cold (bisect-per-level reference) vs finger-table :func:`route`,
+* single :func:`route` calls vs batched :func:`route_many`,
+* finger-table construction cost (the price paid on first lookup after
+  a membership change).
+"""
+
+import random
+import time
+
+from repro.dht.consistent_hashing import random_node_ids
+from repro.dht.keyspace import KEY_SPACE
+from repro.dht.ring import Ring
+from repro.dht.routing import finger_table_for, route, route_cold, route_many
+
+
+def build_ring(n, seed=0):
+    ring = Ring()
+    rng = random.Random(seed)
+    for i, node_id in enumerate(random_node_ids(n, rng)):
+        ring.join(f"n{i}", node_id)
+    return ring, rng
+
+
+def make_keys(rng, count=256):
+    return [rng.randrange(KEY_SPACE) for _ in range(count)]
+
+
+def test_route_cold_reference(benchmark):
+    ring, rng = build_ring(1000)
+    keys = make_keys(rng)
+
+    def cold():
+        for key in keys:
+            route_cold(ring, "n0", key)
+
+    benchmark(cold)
+
+
+def test_route_finger_table(benchmark):
+    ring, rng = build_ring(1000)
+    keys = make_keys(rng)
+    route(ring, "n0", keys[0])  # build the table outside the timed region
+
+    def warm():
+        for key in keys:
+            route(ring, "n0", key)
+
+    benchmark(warm)
+
+
+def test_route_many_batched(benchmark):
+    ring, rng = build_ring(1000)
+    keys = make_keys(rng)
+    route(ring, "n0", keys[0])
+
+    benchmark(lambda: route_many(ring, "n0", keys))
+
+
+def test_finger_table_rebuild(benchmark):
+    """Cost of re-deriving fingers for 256 sources after a version bump."""
+    ring, rng = build_ring(1000)
+    keys = make_keys(rng)
+    positions = list(range(0, 1000, 4))[:256]
+
+    def rebuild():
+        ring._version += 0  # no-op; rebuild is forced by a fresh table
+        table = finger_table_for(ring)
+        table.refresh()
+        table._nodes.clear()
+        for index, key in zip(positions, keys):
+            table.fingers_of(index)
+
+    benchmark(rebuild)
+
+
+def _best_of(runs, fn):
+    """Minimum wall time over *runs* attempts — filters scheduler noise,
+    which only ever makes a run slower, never faster."""
+    best = float("inf")
+    for _ in range(runs):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_fast_paths_actually_faster():
+    """Shape gate: finger-table route >= 5x cold; route_many >= route."""
+    ring, rng = build_ring(2000, seed=3)
+    keys = make_keys(rng, 4000)
+    route(ring, "n0", keys[0])  # warm the table
+
+    def warm_loop():
+        for key in keys:
+            route(ring, "n0", key)
+
+    def cold_loop():
+        for key in keys[:400]:
+            route_cold(ring, "n0", key)
+
+    warm_wall = _best_of(3, warm_loop)
+    batched_wall = _best_of(3, lambda: route_many(ring, "n0", keys))
+    cold_wall = _best_of(3, cold_loop) * (len(keys) / 400)
+
+    assert cold_wall > 5 * warm_wall, (
+        f"finger-table routing speedup collapsed: cold {cold_wall:.3f}s "
+        f"vs warm {warm_wall:.3f}s"
+    )
+    assert batched_wall < warm_wall * 1.1, (
+        f"route_many slower than single-key loop: {batched_wall:.3f}s "
+        f"vs {warm_wall:.3f}s"
+    )

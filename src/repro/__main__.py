@@ -156,6 +156,17 @@ def _runners() -> Dict[str, Runner]:
 
         return format_erasure(run_erasure_extension())
 
+    def scale() -> str:
+        from repro.experiments.scale_matrix import (
+            format_scale,
+            record_trajectory,
+            run_scale,
+        )
+
+        results = run_scale()
+        path = record_trajectory(results)
+        return format_scale(results) + f"\n\nrecorded run -> {path}"
+
     def ablations() -> str:
         from repro.experiments.ablations import (
             run_cache_ttl_ablation,
@@ -211,6 +222,7 @@ def _runners() -> Dict[str, Runner]:
         "hotspot": ("Extension: retrieval-cache hot spots", hotspot),
         "erasure": ("Extension: replication vs erasure coding", erasure),
         "ablations": ("Ablations: pointers / t / TTL / replicas", ablations),
+        "scale": ("Scale matrix: engine throughput -> BENCH_scale.json", scale),
     }
 
 
@@ -251,7 +263,9 @@ def main(argv=None) -> int:
         print("  all        run everything above")
         return 0
     if requested == ["all"]:
-        requested = list(runners)
+        # `scale` benchmarks wall-clock throughput (minutes of runtime,
+        # machine-dependent numbers) — run it explicitly, not under `all`.
+        requested = [name for name in runners if name != "scale"]
 
     unknown = [name for name in requested if name not in runners]
     if unknown:

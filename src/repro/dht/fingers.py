@@ -1,0 +1,152 @@
+"""Precomputed, version-keyed Chord finger tables.
+
+:func:`repro.dht.routing.route` resolves the finger rule ``successor(p +
+2**i)`` with a ring bisect per level per hop, which at 10^4 nodes makes a
+single lookup cost dozens of O(log n) probes over 512-bit integers.  The
+targets themselves are *invariant between ring versions*, so this module
+materializes them once per node per membership generation and serves every
+subsequent hop from plain list indexing.
+
+Two structural facts keep the tables small and cheap to build:
+
+* For every level where ``2**i <= distance(p, successor(p))`` the finger
+  is simply the node's immediate successor — with n uniformly-placed
+  nodes that covers the bottom ``KEY_BITS - O(log n)`` levels, so only the
+  top ``O(log n)`` levels need a bisect each.
+* Tables are built *lazily per node*: a routing stream only pays for the
+  nodes its hops actually visit.
+
+Invalidation follows the same contract as the ring's successor memos
+(:attr:`repro.dht.ring.Ring.version`): any join, leave, or position change
+bumps the version and the next access rebuilds from a fresh snapshot.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from repro.dht.keyspace import KEY_BITS, KEY_SPACE, in_interval
+from repro.dht.ring import Ring, RingError
+
+#: One node's finger state: ``(low_levels, succ_index, upper_indexes)``.
+#: Levels ``0 .. low_levels-1`` all point at the immediate successor;
+#: level ``low_levels + k`` points at ``upper_indexes[k]``.
+NodeFingers = Tuple[int, int, Tuple[int, ...]]
+
+
+class FingerTable:
+    """Lazily-materialized finger targets for every node of one ring.
+
+    The table snapshots the ring's sorted ``(ids, names)`` arrays per
+    membership generation; per-node finger arrays are built on first visit
+    and reused until the ring version changes.  All lookups after the
+    snapshot are list indexing — no bisects on the hop hot path.
+    """
+
+    def __init__(self, ring: Ring) -> None:
+        self._ring = ring
+        self._version = -1
+        self._ids: Tuple[int, ...] = ()
+        self._names: Tuple[str, ...] = ()
+        self._nodes: Dict[int, NodeFingers] = {}
+
+    # ------------------------------------------------------------------
+    # snapshot management
+
+    def refresh(self) -> None:
+        """Re-snapshot the ring if its membership generation moved."""
+        ring = self._ring
+        if self._version == ring.version:
+            return
+        self._ids = tuple(ring.positions())
+        self._names = tuple(ring.names())
+        self._nodes.clear()
+        self._version = ring.version
+
+    def __len__(self) -> int:
+        self.refresh()
+        return len(self._ids)
+
+    @property
+    def ids(self) -> Tuple[int, ...]:
+        self.refresh()
+        return self._ids
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        self.refresh()
+        return self._names
+
+    def index_of_id(self, node_id: int) -> int:
+        """Ring-order index of the node at *node_id* (must exist)."""
+        self.refresh()
+        index = bisect_left(self._ids, node_id)
+        if index >= len(self._ids) or self._ids[index] != node_id:
+            raise RingError(f"no node at position {node_id:#x}")
+        return index
+
+    def owner_index(self, key: int) -> int:
+        """Ring-order index of the owner of *key* (successor bisect)."""
+        self.refresh()
+        if not self._ids:
+            raise RingError("ring is empty")
+        return bisect_left(self._ids, key) % len(self._ids)
+
+    # ------------------------------------------------------------------
+    # finger materialization
+
+    def fingers_of(self, index: int) -> NodeFingers:
+        """Finger state of the node at ring-order *index* (built lazily)."""
+        self.refresh()
+        entry = self._nodes.get(index)
+        if entry is None:
+            entry = self._build(index)
+            self._nodes[index] = entry
+        return entry
+
+    def _build(self, index: int) -> NodeFingers:
+        ids = self._ids
+        size = len(ids)
+        p = ids[index]
+        succ_index = (index + 1) % size
+        if size == 1:
+            return (KEY_BITS, succ_index, ())
+        d_succ = (ids[succ_index] - p) % KEY_SPACE
+        # Levels with 2**i <= d_succ land inside (p, successor]: the finger
+        # is the immediate successor, no bisect needed.
+        low_levels = d_succ.bit_length()
+        upper: List[int] = []
+        for level in range(low_levels, KEY_BITS):
+            target = (p + (1 << level)) % KEY_SPACE
+            upper.append(bisect_left(ids, target) % size)
+        return (low_levels, succ_index, tuple(upper))
+
+    # ------------------------------------------------------------------
+    # hop resolution
+
+    def next_hop(self, index: int, current_id: int, key: int,
+                 remaining: int) -> Optional[int]:
+        """Index of the farthest finger of node *index* not overshooting *key*.
+
+        Mirrors the greedy rule of ``routing._best_finger`` exactly —
+        largest level first, candidate usable when it lies in ``(current,
+        key]`` — but resolves each candidate with list indexing instead of
+        a ring bisect.  Returns ``None`` when no finger makes progress (the
+        owner is the immediate successor).
+        """
+        low_levels, succ_index, upper = self.fingers_of(index)
+        ids = self._ids
+        level = remaining.bit_length() - 1
+        while level >= low_levels:
+            candidate = upper[level - low_levels]
+            candidate_id = ids[candidate]
+            if candidate != index and in_interval(candidate_id, current_id, key):
+                return candidate
+            level -= 1
+        if level >= 0:
+            # All remaining levels point at the immediate successor.
+            candidate_id = ids[succ_index]
+            if succ_index != index and in_interval(candidate_id, current_id, key):
+                return succ_index
+        return None

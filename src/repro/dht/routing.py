@@ -12,6 +12,22 @@ notes routing state can be repaired immediately (Section 8.1, footnote); we
 therefore always route over the up-to-date ring rather than simulating
 stale finger tables.
 
+Hot-path structure (the million-user scale engine):
+
+* :func:`route` — the single-lookup API every experiment uses.  It is a
+  thin wrapper over a shared per-ring :class:`~repro.dht.fingers.FingerTable`
+  (precomputed ``successor(p + 2**i)`` targets, invalidated exactly like
+  the ring's successor memos), so span emission and Figure-9 message
+  accounting are unchanged while each hop costs list indexing instead of
+  per-level ring bisects.
+* :func:`route_many` — batched resolution of many lookups over the same
+  shared finger state: one pass over the active frontier per hop level,
+  amortizing source resolution and snapshot checks across the batch.
+  Results are element-for-element identical to calling :func:`route`.
+* :func:`route_cold` — the original bisect-per-level implementation, kept
+  as the reference for equivalence tests and the cold side of
+  ``benchmarks/bench_micro_route.py``.
+
 The functions here return both the hop path (for latency accounting — each
 hop is one network RTT leg in the recursive lookup) and the message count
 (for Figure 9's lookup-traffic accounting).
@@ -19,10 +35,13 @@ hop is one network RTT leg in the recursive lookup) and the message count
 
 from __future__ import annotations
 
+import math
+import weakref
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.dht.keyspace import KEY_BITS, distance, in_interval
+from repro.dht.fingers import FingerTable
+from repro.dht.keyspace import KEY_BITS, KEY_SPACE, distance, in_interval
 from repro.dht.ring import Ring
 
 
@@ -51,6 +70,68 @@ class LookupResult:
         return self.hops + 1
 
 
+#: Shared per-ring finger tables, keyed weakly so dropping a ring drops its
+#: routing state with it.  One table per ring; the table itself re-snapshots
+#: whenever the ring's membership generation moves.
+_TABLES: "weakref.WeakKeyDictionary[Ring, FingerTable]" = weakref.WeakKeyDictionary()
+
+
+def finger_table_for(ring: Ring) -> FingerTable:
+    """The shared precomputed finger table of *ring* (created on demand)."""
+    table = _TABLES.get(ring)
+    if table is None:
+        table = FingerTable(ring)
+        _TABLES[ring] = table
+    return table
+
+
+def _greedy_path(
+    table: FingerTable, ring: Ring, source: str, key: int, max_hops: int
+) -> List[str]:
+    """Hop path from *source* to the owner of *key* over shared fingers.
+
+    Exactly the greedy rule of :func:`route_cold`, resolved against the
+    precomputed table: same paths, same hop counts, same failure mode.
+    """
+    names = table.names  # refreshes the snapshot if the ring changed
+    ids = table.ids
+    owner_index = ring.successor_index(key)
+    current_id = ring.position_of(source)
+    path = [source]
+    if len(ids) == 1:
+        return path
+    index = table.index_of_id(current_id)
+    hops = 0
+    while index != owner_index:
+        remaining = (key - current_id) % KEY_SPACE
+        if remaining == 0:
+            break
+        nxt = table.next_hop(index, current_id, key, remaining)
+        if nxt is None or nxt == index:
+            # No finger makes progress: the owner is our immediate successor.
+            nxt = (index + 1) % len(ids)
+        path.append(names[nxt])
+        index = nxt
+        current_id = ids[nxt]
+        hops += 1
+        if hops > max_hops:
+            raise RuntimeError("routing failed to converge; ring state is inconsistent")
+    return path
+
+
+def _emit_hop_spans(
+    path: Sequence[str], tracer, parent, now: float,
+    leg_time: Optional[Callable[[str, str], float]],
+) -> None:
+    t = now
+    for index in range(len(path) - 1):
+        frm, to = path[index], path[index + 1]
+        leg = leg_time(frm, to) if leg_time is not None else 0.0
+        span = tracer.start_span("dht.hop", t, parent, frm=frm, to=to, hop=index)
+        t += leg
+        tracer.finish(span, t)
+
+
 def route(
     ring: Ring,
     source: str,
@@ -61,6 +142,7 @@ def route(
     parent=None,
     now: float = 0.0,
     leg_time: Optional[Callable[[str, str], float]] = None,
+    fingers: Optional[FingerTable] = None,
 ) -> LookupResult:
     """Route a lookup for *key* from node *source* over *ring*.
 
@@ -69,10 +151,104 @@ def route(
     ``i``) that lands inside the remaining arc ``(current, key)``, falling
     back to its immediate successor.  Terminates at the key's owner.
 
+    Hops resolve against the ring's shared precomputed
+    :class:`~repro.dht.fingers.FingerTable` (pass *fingers* to supply an
+    explicit table); paths are identical to :func:`route_cold`.
+
     With a span *tracer* and a live *parent* span, one ``dht.hop`` child
     span is emitted per hop leg, starting at *now* and advancing by
     ``leg_time(from, to)`` per leg (zero-duration hops when no *leg_time*
     is given).  A falsy tracer or parent costs one truthiness check.
+    """
+    if source not in ring:
+        raise ValueError(f"source node {source!r} not in ring")
+    table = fingers if fingers is not None else finger_table_for(ring)
+    path = _greedy_path(table, ring, source, key, max_hops)
+    if tracer and parent:
+        _emit_hop_spans(path, tracer, parent, now, leg_time)
+    return LookupResult(key=key, owner=ring.successor(key), path=path)
+
+
+def route_many(
+    ring: Ring,
+    source: str,
+    keys: Sequence[int],
+    *,
+    max_hops: int = 4 * KEY_BITS,
+    fingers: Optional[FingerTable] = None,
+) -> List[LookupResult]:
+    """Resolve many lookups from one *source* over shared finger state.
+
+    The batch advances as a frontier: one pass over the still-active
+    lookups per hop level, with the source position, ring snapshot, and
+    finger arrays resolved once for the whole batch instead of once per
+    key.  Returns one :class:`LookupResult` per key, in key order, each
+    identical to what :func:`route` would produce.
+
+    This is the span-free hot path for high-volume lookup streams (the
+    scale harness, cache warmers, learned-lookup training data); callers
+    that need per-hop spans route keys individually via :func:`route`.
+    """
+    if source not in ring:
+        raise ValueError(f"source node {source!r} not in ring")
+    table = fingers if fingers is not None else finger_table_for(ring)
+    names = table.names
+    ids = table.ids
+    size = len(ids)
+    source_id = ring.position_of(source)
+    results: List[Optional[LookupResult]] = [None] * len(keys)
+
+    if size == 1:
+        for slot, key in enumerate(keys):
+            results[slot] = LookupResult(key=key, owner=source, path=[source])
+        return results  # type: ignore[return-value]
+
+    source_index = table.index_of_id(source_id)
+    # Active frontier: (result slot, key, owner index, current index,
+    # current id, path).  Completed lookups drop out each pass.
+    active: List[Tuple[int, int, int, int, int, List[str]]] = []
+    for slot, key in enumerate(keys):
+        owner_index = ring.successor_index(key)
+        if source_index == owner_index or (key - source_id) % KEY_SPACE == 0:
+            results[slot] = LookupResult(
+                key=key, owner=names[owner_index], path=[source]
+            )
+        else:
+            active.append((slot, key, owner_index, source_index, source_id, [source]))
+
+    next_hop = table.next_hop
+    hops = 0
+    while active:
+        hops += 1
+        if hops > max_hops:
+            raise RuntimeError("routing failed to converge; ring state is inconsistent")
+        still_active: List[Tuple[int, int, int, int, int, List[str]]] = []
+        for slot, key, owner_index, index, current_id, path in active:
+            remaining = (key - current_id) % KEY_SPACE
+            nxt = next_hop(index, current_id, key, remaining)
+            if nxt is None or nxt == index:
+                nxt = (index + 1) % size
+            path.append(names[nxt])
+            if nxt == owner_index or (key - ids[nxt]) % KEY_SPACE == 0:
+                results[slot] = LookupResult(key=key, owner=names[owner_index], path=path)
+            else:
+                still_active.append((slot, key, owner_index, nxt, ids[nxt], path))
+        active = still_active
+    return results  # type: ignore[return-value]
+
+
+def route_cold(
+    ring: Ring,
+    source: str,
+    key: int,
+    *,
+    max_hops: int = 4 * KEY_BITS,
+) -> LookupResult:
+    """Reference implementation: greedy routing with per-level ring bisects.
+
+    This is the pre-finger-table hot path, kept for equivalence testing
+    and as the cold baseline in ``benchmarks/bench_micro_route.py``.  No
+    span support — instrumented callers use :func:`route`.
     """
     if source not in ring:
         raise ValueError(f"source node {source!r} not in ring")
@@ -85,29 +261,26 @@ def route(
         remaining = distance(current_id, key)
         if remaining == 0:
             break
-        next_name = _best_finger(ring, current_id, key, remaining)
+        next_name, next_id = _best_finger(ring, current_id, key, remaining)
         if next_name == current:
             # Degenerate single-node arc; the successor must be the owner.
             next_name = ring.successor_of(current)
+            next_id = ring.position_of(next_name)
         path.append(next_name)
         current = next_name
-        current_id = ring.position_of(current)
+        current_id = next_id
         hops += 1
         if hops > max_hops:
             raise RuntimeError("routing failed to converge; ring state is inconsistent")
-    if tracer and parent:
-        t = now
-        for index in range(len(path) - 1):
-            frm, to = path[index], path[index + 1]
-            leg = leg_time(frm, to) if leg_time is not None else 0.0
-            span = tracer.start_span("dht.hop", t, parent, frm=frm, to=to, hop=index)
-            t += leg
-            tracer.finish(span, t)
     return LookupResult(key=key, owner=owner, path=path)
 
 
-def _best_finger(ring: Ring, current_id: int, key: int, remaining: int) -> str:
-    """The farthest finger of the node at *current_id* not overshooting *key*."""
+def _best_finger(ring: Ring, current_id: int, key: int, remaining: int) -> Tuple[str, int]:
+    """Farthest finger of the node at *current_id* not overshooting *key*.
+
+    Returns ``(name, id)`` so callers never re-bisect the position of the
+    node they just resolved.
+    """
     # The largest usable finger level is bounded by the remaining distance:
     # a finger at 2**i with 2**i > remaining would overshoot.
     level = remaining.bit_length() - 1
@@ -118,10 +291,11 @@ def _best_finger(ring: Ring, current_id: int, key: int, remaining: int) -> str:
         # Usable if the candidate lies in (current, key] — it makes forward
         # progress without passing the owner.
         if candidate_id != current_id and in_interval(candidate_id, current_id, key):
-            return candidate
+            return candidate, candidate_id
         level -= 1
     # No finger makes progress: the owner is our immediate successor.
-    return ring.successor_of(ring.name_at(current_id))
+    fallback = ring.successor_of(ring.name_at(current_id))
+    return fallback, ring.position_of(fallback)
 
 
 def expected_hops(n_nodes: int) -> float:
@@ -129,8 +303,6 @@ def expected_hops(n_nodes: int) -> float:
 
     Used by tests as a sanity envelope and by coarse analytical models.
     """
-    import math
-
     if n_nodes <= 1:
         return 0.0
     return 0.5 * math.log2(n_nodes)

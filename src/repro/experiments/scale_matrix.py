@@ -1,0 +1,165 @@
+"""The scale matrix: ``python -m repro scale`` and ``BENCH_scale.json``.
+
+Runs the million-user scale cells (:mod:`repro.analysis.scale`) over a
+node-count × user-multiplier grid and appends one labelled run to the
+``BENCH_scale.json`` trajectory file, so engine throughput and peak RSS
+are tracked PR-over-PR the way the figure rows track accuracy.
+
+Unlike the figure matrices these cells *time themselves*, so they always
+run fresh: the disk result-cache is explicitly disabled (a cached
+wall-clock number would report the machine state of some earlier run).
+The deterministic work fingerprints (op counts, hop totals, owner
+checksums) are still byte-identical between serial and ``--jobs N``
+runs — CI's ``scale-smoke`` job asserts exactly that.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — trajectory file path (default
+  ``BENCH_scale.json`` in the current directory).
+* ``REPRO_SCALE_LABEL`` — label recorded for this run (default
+  ``local``).
+* ``REPRO_SCALE_EXPORT_DIR`` — when set, read cells stream per-window
+  metrics rows and finished spans to JSONL files under this directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.scale import ScaleCellResult
+from repro.experiments import common
+from repro.runner import RunCache, run_cells
+
+BENCH_ENV = "REPRO_BENCH_SCALE"
+LABEL_ENV = "REPRO_SCALE_LABEL"
+DEFAULT_BENCH_PATH = "BENCH_scale.json"
+BENCH_SCHEMA = 1
+
+#: Default grid: routing throughput at 10^3 and 10^4 nodes, plus one
+#: 10^5-user read replay on a 10^3-node deployment (image replicated
+#: from a 250-node base, per Section 9.1).
+ROUTING_NODES: Tuple[int, ...] = (1000, 10000)
+ROUTING_OPS = 20000
+ROUTING_BATCH = 4096
+ROUTING_COLD_OPS = 2000
+READ_CELLS: Tuple[Tuple[int, int], ...] = ((1000, 100000),)
+READ_BASE_SIZE = 250
+READ_OPS_PER_USER = 10
+READ_WINDOW = 8192
+
+
+def scale_cells(
+    *,
+    routing_nodes: Sequence[int] = ROUTING_NODES,
+    routing_ops: int = ROUTING_OPS,
+    routing_batch: int = ROUTING_BATCH,
+    routing_cold_ops: int = ROUTING_COLD_OPS,
+    read_cells: Sequence[Tuple[int, int]] = READ_CELLS,
+    read_base_size: int = READ_BASE_SIZE,
+    read_ops_per_user: int = READ_OPS_PER_USER,
+    read_window: int = READ_WINDOW,
+    system: str = "d2",
+    users: int = common.TRACE_USERS,
+    days: float = 0.25,
+    seed: int = common.SEED,
+) -> List[Dict[str, Any]]:
+    """The parameter bundles of one scale run (all plain picklable dicts)."""
+    cells: List[Dict[str, Any]] = []
+    for n_nodes in routing_nodes:
+        cells.append(
+            {
+                "cell": "routing",
+                "n_nodes": n_nodes,
+                "ops": routing_ops,
+                "batch": routing_batch,
+                "cold_ops": routing_cold_ops,
+                "seed": seed,
+            }
+        )
+    for n_nodes, target_users in read_cells:
+        cells.append(
+            {
+                "cell": "read",
+                "system": system,
+                "n_nodes": n_nodes,
+                "users": target_users,
+                "ops_per_user": read_ops_per_user,
+                "window": read_window,
+                "base_users": users,
+                "days": days,
+                "base_size": read_base_size,
+                "seed": seed,
+            }
+        )
+    return cells
+
+
+def run_scale(
+    *, cells: Optional[Sequence[Dict[str, Any]]] = None, jobs: Optional[int] = None
+) -> List[ScaleCellResult]:
+    """Run the scale matrix, always fresh (disk cache disabled)."""
+    bundles = list(cells) if cells is not None else scale_cells()
+    return run_cells(
+        "scale",
+        bundles,
+        jobs=jobs,
+        cache=RunCache(None),
+        metrics_name="runner_scale",
+    )
+
+
+def format_scale(results: Sequence[ScaleCellResult]) -> str:
+    rows = []
+    for result in results:
+        row = result.row()
+        row["rss_growth_kb"] = result.rss_growth_kb
+        del row["rss_curve_kb"]
+        rows.append(row)
+    return common.format_table(
+        rows,
+        [
+            "cell", "n_nodes", "users", "ops", "ops_per_sec", "speedup_vs_cold",
+            "hops", "fetches", "windows", "peak_rss_kb", "rss_growth_kb",
+            "checksum",
+        ],
+        title="Scale matrix: engine throughput and memory",
+    )
+
+
+def bench_path(explicit: Optional[str] = None) -> str:
+    if explicit:
+        return explicit
+    return os.environ.get(BENCH_ENV, "").strip() or DEFAULT_BENCH_PATH
+
+
+def record_trajectory(
+    results: Sequence[ScaleCellResult],
+    *,
+    path: Optional[str] = None,
+    label: Optional[str] = None,
+) -> str:
+    """Append one labelled run to the ``BENCH_scale.json`` trajectory.
+
+    The file holds every recorded run in order, so a sequence of PRs
+    leaves a throughput/memory curve rather than a single overwritten
+    number.  Returns the path written.
+    """
+    target = bench_path(path)
+    label = label or os.environ.get(LABEL_ENV, "").strip() or "local"
+    document: Dict[str, Any] = {"schema": BENCH_SCHEMA, "runs": []}
+    if os.path.exists(target):
+        with open(target, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if loaded.get("schema") == BENCH_SCHEMA and isinstance(
+            loaded.get("runs"), list
+        ):
+            document = loaded
+    document["runs"].append(
+        {"label": label, "cells": [result.row() for result in results]}
+    )
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target

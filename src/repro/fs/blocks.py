@@ -22,7 +22,8 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass
-from typing import List, Optional
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 BLOCK_SIZE = 8192
 # Files at or below this size are stored inline in their inode ("when the
@@ -90,6 +91,18 @@ def data_block_sizes(file_size: int) -> List[int]:
     last = file_size - BLOCK_SIZE * (count - 1)
     sizes.append(last)
     return sizes
+
+
+@lru_cache(maxsize=8192)
+def data_block_sizes_table(file_size: int) -> Tuple[int, ...]:
+    """Immutable, process-cached form of :func:`data_block_sizes`.
+
+    Replay hot paths size the same file populations millions of times; the
+    tuple is computed once per distinct file size and shared, eliminating a
+    per-read list allocation.  Values are identical to
+    ``tuple(data_block_sizes(file_size))``.
+    """
+    return tuple(data_block_sizes(file_size))
 
 
 def blocks_covering(offset: int, length: int, file_size: int) -> range:

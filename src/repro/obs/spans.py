@@ -327,6 +327,23 @@ class Tracer:
             s.to_dict() for s in self._buffer if include_open or s.end is not None
         ]
 
+    def drain(self) -> List[Dict[str, object]]:
+        """Pop all *finished* buffered spans as JSON-safe dicts.
+
+        Open spans stay buffered (their parents may still bubble child
+        finish times); cumulative counts and totals are untouched, so
+        repeated drains see every finished span exactly once.  This is the
+        streaming-export primitive: a long run drains to a
+        :class:`repro.obs.stream.JsonlWriter` every window, keeping the
+        tracer's memory footprint independent of run length.
+        """
+        finished = [s for s in self._buffer if s.end is not None]
+        if finished:
+            open_spans = [s for s in self._buffer if s.end is None]
+            self._buffer.clear()
+            self._buffer.extend(open_spans)
+        return [s.to_dict() for s in finished]
+
     def export_jsonl(self, path: str, include_open: bool = True) -> str:
         """Write buffered spans to *path*, one JSON object per line."""
         with open(path, "w", encoding="utf-8") as handle:

@@ -125,6 +125,70 @@ def webcache_balance_cell(params: Dict[str, Any]) -> Any:
     )
 
 
+@cell_kind("scale")
+def scale_cell(params: Dict[str, Any]) -> Any:
+    """One cell of the million-user scale matrix (``python -m repro scale``).
+
+    ``params["cell"]`` selects the shape: ``"routing"`` (bare ring,
+    batched vs cold lookup throughput) or ``"read"`` (full deployment,
+    cloned read stream through the batched read path).  These cells time
+    themselves, so the driver runs them with the disk cache disabled —
+    a cached wall-clock number would be a lie.
+    """
+    from repro.analysis.scale import run_scale_read, run_scale_routing
+
+    if params["cell"] == "routing":
+        return run_scale_routing(
+            n_nodes=params["n_nodes"],
+            ops=params["ops"],
+            batch=params["batch"],
+            cold_ops=params["cold_ops"],
+            seed=params["seed"],
+        )
+    from repro.core.system import build_deployment
+    from repro.workloads.scale import copies_for_size
+
+    trace = scaled_harvard_trace(
+        users=params["base_users"],
+        days=params["days"],
+        seed=params["seed"],
+        base_size=params["base_size"],
+        n_nodes=params["n_nodes"],
+        scale_with_size=True,
+    )
+    import contextlib
+    import os
+
+    from repro.obs.stream import JsonlWriter
+
+    deployment = build_deployment(
+        params["system"], params["n_nodes"], seed=params["seed"]
+    )
+    deployment.load_initial_image(trace)
+    export_dir = os.environ.get("REPRO_SCALE_EXPORT_DIR", "").strip()
+    with contextlib.ExitStack() as stack:
+        span_writer = metrics_writer = None
+        if export_dir:
+            stem = f"scale_read_{params['n_nodes']}x{params['users']}"
+            span_writer = stack.enter_context(
+                JsonlWriter(os.path.join(export_dir, f"{stem}_spans.jsonl"))
+            )
+            metrics_writer = stack.enter_context(
+                JsonlWriter(os.path.join(export_dir, f"{stem}_metrics.jsonl"))
+            )
+        return run_scale_read(
+            deployment,
+            trace,
+            copies=copies_for_size(params["base_size"], params["n_nodes"]),
+            users=params["users"],
+            ops_per_user=params["ops_per_user"],
+            window=params["window"],
+            seed=params["seed"],
+            span_writer=span_writer,
+            metrics_writer=metrics_writer,
+        )
+
+
 @cell_kind("churn")
 def churn_cell(params: Dict[str, Any]) -> Any:
     """One (storm level, correlated, trial) cell of the churn-storm matrix."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 
 class SimulationError(Exception):
@@ -93,6 +93,40 @@ class Simulator:
         """Schedule *callback* at absolute simulation time *when*."""
         return self.schedule(when - self._now, callback)
 
+    def schedule_batch(
+        self, events: Iterable[Tuple[float, Callable[[], None]]]
+    ) -> List[EventHandle]:
+        """Schedule many ``(delay, callback)`` pairs in one pass.
+
+        Equivalent to calling :meth:`schedule` once per pair (sequence
+        numbers are assigned in iteration order, so same-time events fire
+        FIFO), but a large batch is appended and re-heapified in one O(n)
+        pass instead of n O(log n) sifts — the fast path for event storms
+        (periodic probe fleets, churn storms, scale-harness windows) that
+        enqueue thousands of events between firings.
+        """
+        queue = self._queue
+        now = self._now
+        next_seq = self._seq.__next__
+        handles: List[EventHandle] = []
+        staged: List[Tuple[float, int, Callable[[], None]]] = []
+        for delay, callback in events:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule in the past (delay={delay})")
+            seq = next_seq()
+            when = now + delay
+            staged.append((when, seq, callback))
+            handles.append(EventHandle(when, seq))
+        # Pop order is fully determined by the (time, seq) total order, so
+        # the internal heap layout never affects behavior — only speed.
+        if len(staged) > 8 and len(staged) * 4 > len(queue):
+            queue.extend(staged)
+            heapq.heapify(queue)
+        else:
+            for item in staged:
+                heapq.heappush(queue, item)
+        return handles
+
     def schedule_periodic(
         self,
         interval: float,
@@ -128,14 +162,23 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        # Event-storm fast path: hoist attribute lookups out of the drain
+        # loop and batch the fired-counter update — one `inc(total)` when
+        # the run returns instead of a method call per event.  Counter
+        # values are only observed between runs (snapshots), so batching
+        # never changes a reported number.
+        queue = self._queue
+        cancelled = self._cancelled
+        pop = heapq.heappop
+        fired = 0
         try:
-            while self._queue:
-                when, seq, callback = self._queue[0]
+            while queue:
+                when, seq, callback = queue[0]
                 if until is not None and when > until:
                     break
-                heapq.heappop(self._queue)
-                if (when, seq) in self._cancelled:
-                    self._cancelled.discard((when, seq))
+                pop(queue)
+                if cancelled and (when, seq) in cancelled:
+                    cancelled.discard((when, seq))
                     if self._cancelled_counter is not None:
                         self._cancelled_counter.inc()
                     continue
@@ -143,11 +186,12 @@ class Simulator:
                     raise SimulationError("event queue corrupted: time went backwards")
                 self._now = when
                 callback()
-                if self._fired_counter is not None:
-                    self._fired_counter.inc()
+                fired += 1
             if until is not None and until > self._now:
                 self._now = until
         finally:
+            if fired and self._fired_counter is not None:
+                self._fired_counter.inc(fired)
             self._running = False
 
     def step(self) -> bool:

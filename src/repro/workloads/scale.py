@@ -15,9 +15,12 @@ paper's cross-size comparisons meaningful.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.workloads.trace import Trace
+
+#: One read request: (user, path, offset, length).
+ReadRequest = Tuple[str, str, int, int]
 
 
 def replicate_filesystem(trace: Trace, extra_copies: int) -> Trace:
@@ -52,3 +55,51 @@ def copies_for_size(base_nodes: int, target_nodes: int) -> int:
     if base_nodes <= 0 or target_nodes <= 0:
         raise ValueError("node counts must be positive")
     return max(0, round(target_nodes / base_nodes) - 1)
+
+
+def replica_path(path: str, replica: int) -> str:
+    """*path* inside replica image *replica* (0 = the original image)."""
+    if replica == 0:
+        return path
+    return f"/replica{replica}{path}"
+
+
+def scaled_read_stream(
+    reads: Sequence[ReadRequest],
+    *,
+    clones: int,
+    ops_per_clone: int,
+    copies: int = 0,
+) -> Iterator[ReadRequest]:
+    """Lazily multiply a base read template across *clones* user populations.
+
+    The paper replays 83 distinct access patterns regardless of system
+    size; the million-user scale harness instead clones the base
+    population: clone ``c`` replays ``ops_per_clone`` requests from the
+    template (starting at a clone-dependent stride so clones do not all
+    hammer the same files in the same order) against replica image
+    ``c % (copies + 1)``.  Users are renamed ``user~c`` so every clone is
+    a distinct principal, and nothing is materialized — the stream is a
+    generator, so peak memory is independent of ``clones``.
+    """
+    if clones <= 0:
+        raise ValueError(f"clones must be positive, got {clones}")
+    if ops_per_clone <= 0:
+        raise ValueError(f"ops_per_clone must be positive, got {ops_per_clone}")
+    if copies < 0:
+        raise ValueError(f"copies must be non-negative, got {copies}")
+    n = len(reads)
+    if n == 0:
+        return
+    per_clone = min(ops_per_clone, n)
+    for clone in range(clones):
+        replica = clone % (copies + 1)
+        start = clone % n
+        for step in range(per_clone):
+            user, path, offset, length = reads[(start + step) % n]
+            yield (
+                user if clone == 0 else f"{user}~{clone}",
+                replica_path(path, replica),
+                offset,
+                length,
+            )

@@ -221,3 +221,61 @@ class TestReentrancy:
 
         sim.schedule(1.0, reenter)
         sim.run()
+
+
+class TestScheduleBatch:
+    def test_equivalent_to_single_schedules(self):
+        """A batch fires in the same order as one-by-one scheduling."""
+        a, b = Simulator(), Simulator()
+        fired_a, fired_b = [], []
+        events = [(3.0, "x"), (1.0, "y"), (3.0, "z"), (0.0, "w")]
+        for delay, tag in events:
+            a.schedule(delay, lambda t=tag: fired_a.append((a.now, t)))
+        b.schedule_batch(
+            (delay, lambda t=tag: fired_b.append((b.now, t)))
+            for delay, tag in events
+        )
+        a.run()
+        b.run()
+        assert fired_a == fired_b == [(0.0, "w"), (1.0, "y"), (3.0, "x"), (3.0, "z")]
+
+    def test_large_batch_heapify_path(self):
+        """Batches big enough to trigger the heapify fast path still pop
+        in (time, seq) order."""
+        sim = Simulator()
+        sim.schedule(500.0, lambda: None)
+        fired = []
+        sim.schedule_batch(
+            (float(999 - i), (lambda i=i: fired.append(i))) for i in range(1000)
+        )
+        sim.run()
+        assert fired == list(reversed(range(1000)))
+
+    def test_handles_are_cancellable(self):
+        sim = Simulator()
+        fired = []
+        handles = sim.schedule_batch(
+            [(1.0, lambda: fired.append("a")), (2.0, lambda: fired.append("b"))]
+        )
+        sim.cancel(handles[1])
+        sim.run()
+        assert fired == ["a"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([(1.0, lambda: None), (-0.1, lambda: None)])
+
+    def test_empty_batch(self):
+        sim = Simulator()
+        assert sim.schedule_batch([]) == []
+        sim.run()
+
+    def test_counts_fired_events(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sim = Simulator(registry=registry)
+        sim.schedule_batch([(float(i), lambda: None) for i in range(5)])
+        sim.run()
+        assert registry.counter("sim.events_fired").value == 5

@@ -8,7 +8,13 @@ import pytest
 from repro.dht.consistent_hashing import random_node_ids
 from repro.dht.keyspace import KEY_SPACE
 from repro.dht.ring import Ring
-from repro.dht.routing import expected_hops, route
+from repro.dht.routing import (
+    expected_hops,
+    finger_table_for,
+    route,
+    route_cold,
+    route_many,
+)
 
 
 def build_ring(n, seed=0):
@@ -100,6 +106,83 @@ class TestHopScaling:
             )
             means.append(total / 150)
         assert means[1] > means[0]
+
+
+class TestFingerTable:
+    def test_matches_cold_routing(self):
+        """The precomputed table routes byte-identically to the reference."""
+        for n in (1, 2, 3, 8, 64, 300):
+            ring, rng = build_ring(n, seed=n)
+            names = list(ring.names())
+            for _ in range(60):
+                source = names[rng.randrange(n)]
+                key = rng.randrange(KEY_SPACE)
+                assert route(ring, source, key).path == \
+                    route_cold(ring, source, key).path
+
+    def test_shared_per_ring(self):
+        ring, _ = build_ring(8)
+        assert finger_table_for(ring) is finger_table_for(ring)
+
+    def test_membership_change_invalidates(self):
+        ring, rng = build_ring(16, seed=3)
+        table = finger_table_for(ring)
+        key = rng.randrange(KEY_SPACE)
+        route(ring, "n0", key)  # populate
+        ring.join("late", rng.randrange(KEY_SPACE))
+        result = route(ring, "n0", key)
+        assert result.owner == ring.successor(key)
+        assert table is finger_table_for(ring)  # same table, refreshed
+        names = list(ring.names())
+        for _ in range(40):
+            source = names[rng.randrange(len(names))]
+            probe = rng.randrange(KEY_SPACE)
+            assert route(ring, source, probe).path == \
+                route_cold(ring, source, probe).path
+
+    def test_leave_invalidates(self):
+        ring, rng = build_ring(16, seed=9)
+        key = rng.randrange(KEY_SPACE)
+        route(ring, "n0", key)
+        ring.leave("n7")
+        names = [n for n in ring.names()]
+        for _ in range(40):
+            source = names[rng.randrange(len(names))]
+            probe = rng.randrange(KEY_SPACE)
+            assert route(ring, source, probe).path == \
+                route_cold(ring, source, probe).path
+
+
+class TestRouteMany:
+    def test_matches_single_route(self):
+        ring, rng = build_ring(64, seed=7)
+        keys = [rng.randrange(KEY_SPACE) for _ in range(200)]
+        batched = route_many(ring, "n0", keys)
+        singles = [route(ring, "n0", k) for k in keys]
+        assert [r.path for r in batched] == [r.path for r in singles]
+        assert [r.owner for r in batched] == [r.owner for r in singles]
+        assert [r.hops for r in batched] == [r.hops for r in singles]
+
+    def test_preserves_input_order(self):
+        ring, rng = build_ring(32, seed=2)
+        keys = [rng.randrange(KEY_SPACE) for _ in range(50)]
+        results = route_many(ring, "n1", keys)
+        assert [r.key for r in results] == keys
+
+    def test_empty_batch(self):
+        ring, _ = build_ring(4)
+        assert route_many(ring, "n0", []) == []
+
+    def test_unknown_source_rejected(self):
+        ring, _ = build_ring(4)
+        with pytest.raises(ValueError):
+            route_many(ring, "ghost", [1, 2])
+
+    def test_single_node_ring(self):
+        ring = Ring()
+        ring.join("solo", 42)
+        results = route_many(ring, "solo", [1, 99])
+        assert all(r.owner == "solo" and r.hops == 0 for r in results)
 
 
 class TestMessages:

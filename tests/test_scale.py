@@ -1,8 +1,13 @@
-"""Tests for workload scaling by file-system replication."""
+"""Tests for workload scaling: replication, read streams, scale harness."""
 
 import pytest
 
-from repro.workloads.scale import copies_for_size, replicate_filesystem
+from repro.workloads.scale import (
+    copies_for_size,
+    replica_path,
+    replicate_filesystem,
+    scaled_read_stream,
+)
 from repro.workloads.trace import READ, Trace, TraceRecord
 
 
@@ -48,6 +53,18 @@ class TestReplicate:
     def test_name_records_scaling(self):
         assert replicate_filesystem(base_trace(), 2).name == "base+2copies"
 
+    def test_clone_mutation_does_not_alias_source(self):
+        """The replicated trace owns its lists — mutating it must never
+        reach back into the source trace."""
+        trace = base_trace()
+        scaled = replicate_filesystem(trace, 1)
+        scaled.initial_files.append(("/injected", 1))
+        scaled.initial_dirs.append("/injected-dir")
+        scaled.records.append(TraceRecord(1.0, "u", READ, "/injected"))
+        assert trace.initial_files == [("/home/u/f", 100)]
+        assert trace.initial_dirs == ["/home", "/home/u"]
+        assert len(trace.records) == 1
+
 
 class TestCopiesForSize:
     def test_paper_example(self):
@@ -63,6 +80,22 @@ class TestCopiesForSize:
     def test_invalid(self):
         with pytest.raises(ValueError):
             copies_for_size(0, 100)
+        with pytest.raises(ValueError):
+            copies_for_size(100, -1)
+
+    def test_base_larger_than_target(self):
+        """Shrinking never asks for negative copies."""
+        assert copies_for_size(1000, 200) == 0
+        assert copies_for_size(1000, 1) == 0
+
+    def test_exact_multiples(self):
+        assert copies_for_size(250, 1000) == 3
+        assert copies_for_size(100, 100000) == 999
+
+    def test_rounds_to_nearest(self):
+        # 1.4x rounds down (no copies), 1.6x rounds up (one copy).
+        assert copies_for_size(100, 140) == 0
+        assert copies_for_size(100, 160) == 1
 
 
 class TestReplayability:
@@ -73,3 +106,113 @@ class TestReplayability:
         d = build_deployment("d2", 8, seed=1)
         d.load_initial_image(scaled)
         assert d.fs.namespace.exists("/replica2/home/u/f")
+
+
+class TestScaledReadStream:
+    TEMPLATE = [
+        ("alice", "/a", 0, 10),
+        ("bob", "/b", 5, 20),
+        ("carol", "/c", 0, 30),
+    ]
+
+    def test_clone_zero_is_verbatim(self):
+        out = list(scaled_read_stream(self.TEMPLATE, clones=1, ops_per_clone=3))
+        assert out == self.TEMPLATE
+
+    def test_clones_renamed_and_strided(self):
+        out = list(scaled_read_stream(self.TEMPLATE, clones=2, ops_per_clone=3))
+        assert out[:3] == self.TEMPLATE
+        # clone 1 starts one record later and is a distinct principal
+        assert out[3] == ("bob~1", "/b", 5, 20)
+        assert {u for u, *_ in out[3:]} == {"bob~1", "carol~1", "alice~1"}
+
+    def test_replica_round_robin(self):
+        out = list(
+            scaled_read_stream(self.TEMPLATE, clones=3, ops_per_clone=1, copies=1)
+        )
+        assert [path for _, path, _, _ in out] == ["/a", "/replica1/b", "/c"]
+
+    def test_replica_path_helper(self):
+        assert replica_path("/x/y", 0) == "/x/y"
+        assert replica_path("/x/y", 4) == "/replica4/x/y"
+
+    def test_ops_capped_at_template_size(self):
+        out = list(scaled_read_stream(self.TEMPLATE, clones=2, ops_per_clone=99))
+        assert len(out) == 6  # no within-clone repeats
+
+    def test_lazy_and_empty(self):
+        assert list(scaled_read_stream([], clones=5, ops_per_clone=3)) == []
+        stream = scaled_read_stream(self.TEMPLATE, clones=10**9, ops_per_clone=3)
+        assert next(stream)[0] == "alice"  # generator: no materialization
+
+    def test_invalid_args(self):
+        for kwargs in (
+            {"clones": 0, "ops_per_clone": 1},
+            {"clones": 1, "ops_per_clone": 0},
+            {"clones": 1, "ops_per_clone": 1, "copies": -1},
+        ):
+            with pytest.raises(ValueError):
+                list(scaled_read_stream(self.TEMPLATE, **kwargs))
+
+
+class TestScaleHarness:
+    def test_routing_cell_deterministic_and_fast_path(self):
+        from repro.analysis.scale import run_scale_routing
+
+        a = run_scale_routing(n_nodes=64, ops=400, batch=128, cold_ops=50, seed=4)
+        b = run_scale_routing(n_nodes=64, ops=400, batch=128, cold_ops=50, seed=4)
+        assert a.deterministic_row() == b.deterministic_row()
+        assert a.ops == 400 and a.windows == 4
+        assert a.cold_ops == 50 and a.cold_wall_seconds > 0
+        assert a.hops > 0 and a.messages == a.hops + a.ops
+
+    def test_read_cell_smoke(self):
+        from repro.analysis.scale import run_scale_read
+        from repro.core.system import build_deployment
+        from repro.obs.stream import NullJsonlWriter
+
+        trace = replicate_filesystem(
+            Trace(
+                "t",
+                [
+                    TraceRecord(0.0, "u", READ, "/home/u/f", offset=0, length=50),
+                    TraceRecord(1.0, "u", READ, "/missing", offset=0, length=1),
+                ],
+                initial_dirs=["/home", "/home/u"],
+                initial_files=[("/home/u/f", 40000)],
+            ),
+            1,
+        )
+        d = build_deployment("d2", 8, seed=1)
+        d.load_initial_image(trace)
+        metrics = NullJsonlWriter()
+        result = run_scale_read(
+            d, trace, copies=1, users=6, ops_per_user=1, window=2,
+            metrics_writer=metrics,
+        )
+        assert result.cell == "read"
+        assert result.skipped == 1          # the /missing read
+        assert result.users == 6 and result.ops == 6
+        assert result.windows == 3 == metrics.rows == result.streamed_rows
+        assert result.fetches >= result.ops  # inode + data blocks
+        assert len(result.rss_curve_kb) == 3
+
+    def test_read_cell_replays_replica_images(self):
+        """Clones beyond the first replica land on /replicaN paths and
+        still resolve, producing the same per-op fetch counts."""
+        from repro.analysis.scale import run_scale_read
+        from repro.core.system import build_deployment
+
+        trace = replicate_filesystem(
+            Trace(
+                "t",
+                [TraceRecord(0.0, "u", READ, "/home/u/f", offset=0, length=100)],
+                initial_dirs=["/home", "/home/u"],
+                initial_files=[("/home/u/f", 100)],
+            ),
+            2,
+        )
+        d = build_deployment("d2", 4, seed=2)
+        d.load_initial_image(trace)
+        result = run_scale_read(d, trace, copies=2, users=3, ops_per_user=1)
+        assert result.ops == 3 and result.skipped == 0

@@ -1,0 +1,111 @@
+"""Tests for streaming export: JsonlWriter, Tracer.drain, stream_spans."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import NullTracer, Tracer, validate_span_dict
+from repro.obs.stream import JsonlWriter, NullJsonlWriter, stream_spans
+
+
+class TestJsonlWriter:
+    def test_writes_one_object_per_line(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        with JsonlWriter(str(path)) as writer:
+            writer.write({"b": 2, "a": 1})
+            writer.write({"x": [1, 2]})
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == [
+            {"a": 1, "b": 2},
+            {"x": [1, 2]},
+        ]
+        # deterministic serialization: keys sorted
+        assert lines[0] == '{"a": 1, "b": 2}'
+
+    def test_counts_rows(self, tmp_path):
+        with JsonlWriter(str(tmp_path / "r.jsonl")) as writer:
+            assert writer.rows == 0
+            writer.write({})
+            writer.write({})
+            assert writer.rows == 2
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = tmp_path / "nested" / "deep" / "r.jsonl"
+        with JsonlWriter(str(path)) as writer:
+            writer.write({"ok": True})
+        assert path.exists()
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = JsonlWriter(str(tmp_path / "r.jsonl"))
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write({})
+        writer.close()  # idempotent
+
+    def test_null_writer_counts_only(self):
+        with NullJsonlWriter() as writer:
+            writer.write({"a": 1})
+            writer.write({"a": 2})
+        assert writer.rows == 2
+        assert writer.path is None
+
+
+class TestDrain:
+    def test_drain_pops_only_finished(self):
+        tracer = Tracer(sample=1.0, seed=1)
+        root = tracer.start_trace("root", 0.0)
+        child = tracer.start_span("child", 0.5, root)
+        tracer.finish(child, 1.0)
+        drained = tracer.drain()
+        assert [d["name"] for d in drained] == ["child"]
+        assert tracer.spans("root")  # open root stays buffered
+        tracer.finish(root, 2.0)
+        assert [d["name"] for d in tracer.drain()] == ["root"]
+
+    def test_repeated_drains_see_each_span_once(self):
+        tracer = Tracer(sample=1.0, seed=1)
+        seen = []
+        for i in range(5):
+            root = tracer.start_trace(f"t{i}", float(i))
+            tracer.finish(root, float(i) + 0.5)
+            seen.extend(d["name"] for d in tracer.drain())
+        assert seen == [f"t{i}" for i in range(5)]
+        assert tracer.drain() == []
+        assert tracer.finished == 5  # cumulative stats survive draining
+
+    def test_drained_payloads_validate(self):
+        tracer = Tracer(sample=1.0, seed=1)
+        root = tracer.start_trace("op", 0.0, kind="test")
+        tracer.finish(root, 1.0)
+        for payload in tracer.drain():
+            assert validate_span_dict(payload) == []
+
+
+class TestStreamSpans:
+    def test_streams_to_writer(self, tmp_path):
+        tracer = Tracer(sample=1.0, seed=1)
+        path = tmp_path / "spans.jsonl"
+        with JsonlWriter(str(path)) as writer:
+            for i in range(3):
+                root = tracer.start_trace(f"t{i}", float(i))
+                tracer.finish(root, float(i) + 1.0)
+                assert stream_spans(tracer, writer) == 1
+            assert stream_spans(tracer, writer) == 0
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_null_tracer_is_noop(self):
+        writer = NullJsonlWriter()
+        assert stream_spans(NullTracer(), writer) == 0
+        assert writer.rows == 0
+
+    def test_bounded_memory(self):
+        """Draining every window keeps the buffer from accumulating."""
+        tracer = Tracer(capacity=64, sample=1.0, seed=1)
+        writer = NullJsonlWriter()
+        for i in range(500):
+            root = tracer.start_trace("op", float(i))
+            tracer.finish(root, float(i) + 0.1)
+            stream_spans(tracer, writer)
+        assert writer.rows == 500
+        assert len(tracer.spans()) == 0
+        assert tracer.dropped == 500  # drained, not lost: all 500 exported

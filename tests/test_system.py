@@ -67,6 +67,53 @@ class TestVolumeLifecycle:
         assert len(owners) == 1
 
 
+class TestBatchedReads:
+    def _populate(self, d):
+        d.bootstrap_volume()
+        d.apply_fs_ops(d.fs.makedirs("/home/alice"))
+        d.apply_fs_ops(d.fs.create("/home/alice/big.dat", size=10 * BLOCK_SIZE))
+        d.apply_fs_ops(d.fs.create("/home/alice/tiny.dat", size=100))
+
+    def test_many_matches_singles(self, d2_deployment):
+        """read_fetches_many is exactly [read_fetches(*r) for r in reqs]."""
+        self._populate(d2_deployment)
+        requests = [
+            ("/home/alice/big.dat", 0, None),
+            ("/home/alice/big.dat", BLOCK_SIZE * 3, BLOCK_SIZE),
+            ("/home/alice/tiny.dat", 0, None),
+            ("/home/alice/big.dat", 0, 1),
+        ]
+        batched = d2_deployment.read_fetches_many(requests)
+        singles = [
+            d2_deployment.read_fetches(path, offset, length)
+            for path, offset, length in requests
+        ]
+        assert batched == singles
+
+    def test_many_matches_singles_all_systems(self):
+        for system in ("d2", "traditional", "traditional-file"):
+            d = build_deployment(system, 16, seed=3)
+            self._populate(d)
+            requests = [("/home/alice/big.dat", 0, None)] * 2
+            assert d.read_fetches_many(requests) == [
+                d.read_fetches("/home/alice/big.dat") for _ in range(2)
+            ]
+
+    def test_interned_maker_survives_rename(self, d2_deployment):
+        """Keys depend only on (slot_path, overflow), which rename
+        preserves — so fetches are identical before and after."""
+        self._populate(d2_deployment)
+        before = d2_deployment.read_fetches("/home/alice/big.dat")
+        d2_deployment.apply_fs_ops(
+            d2_deployment.fs.rename("/home/alice/big.dat", "/home/alice/moved.dat")
+        )
+        assert d2_deployment.read_fetches("/home/alice/moved.dat") == before
+
+    def test_empty_batch(self, d2_deployment):
+        self._populate(d2_deployment)
+        assert d2_deployment.read_fetches_many([]) == []
+
+
 class TestReplay:
     def test_read_record(self, d2_deployment, tiny_trace):
         d2_deployment.load_initial_image(tiny_trace)
