@@ -167,6 +167,14 @@ def _runners() -> Dict[str, Runner]:
         path = record_trajectory(results)
         return format_scale(results) + f"\n\nrecorded run -> {path}"
 
+    def accel() -> str:
+        from repro.experiments.accel_matrix import format_accel, run_accel
+        from repro.experiments.scale_matrix import record_trajectory
+
+        results = run_accel()
+        path = record_trajectory(results)
+        return format_accel(results) + f"\n\nrecorded run -> {path}"
+
     def ablations() -> str:
         from repro.experiments.ablations import (
             run_cache_ttl_ablation,
@@ -223,6 +231,7 @@ def _runners() -> Dict[str, Runner]:
         "erasure": ("Extension: replication vs erasure coding", erasure),
         "ablations": ("Ablations: pointers / t / TTL / replicas", ablations),
         "scale": ("Scale matrix: engine throughput -> BENCH_scale.json", scale),
+        "accel": ("Acceleration matrix: modes x workload shift -> BENCH_scale.json", accel),
     }
 
 
@@ -263,9 +272,10 @@ def main(argv=None) -> int:
         print("  all        run everything above")
         return 0
     if requested == ["all"]:
-        # `scale` benchmarks wall-clock throughput (minutes of runtime,
-        # machine-dependent numbers) — run it explicitly, not under `all`.
-        requested = [name for name in runners if name != "scale"]
+        # `scale` and `accel` benchmark wall-clock throughput (minutes of
+        # runtime, machine-dependent numbers) — run them explicitly, not
+        # under `all`.
+        requested = [name for name in runners if name not in ("scale", "accel")]
 
     unknown = [name for name in requested if name not in runners]
     if unknown:

@@ -133,10 +133,12 @@ class _Client:
     """One user's client-side state: node placement and caches."""
 
     def __init__(self, user: str, node: str, cache_ttl: float,
-                 registry=None, tracer=None) -> None:
+                 registry=None, tracer=None, ring=None) -> None:
         self.user = user
         self.node = node
-        self.lookup_cache = LookupCache(ttl=cache_ttl, registry=registry, tracer=tracer)
+        self.lookup_cache = LookupCache(
+            ttl=cache_ttl, ring=ring, registry=registry, tracer=tracer
+        )
         self.buffer_cache: Dict[str, Tuple[float, int]] = {}  # ident -> (time, key)
 
 
@@ -180,6 +182,7 @@ class PerformanceHarness:
                 self.deployment.config.lookup_cache_ttl,
                 registry=self.deployment.metrics,
                 tracer=self.deployment.tracer,
+                ring=self.deployment.ring,
             )
             self.clients[user] = client
         return client

@@ -148,6 +148,7 @@ class Deployment:
         self.seed = seed
         self.membership = None  # MembershipService, set by enable_dynamic_membership
         self.repair = None      # RepairScheduler, set alongside it
+        self.accelerator = None  # LookupAccelerator, set by enable_acceleration
 
     def enable_dynamic_membership(self, *, min_nodes: Optional[int] = None):
         """Attach live join/leave/crash protocols with replica repair.
@@ -234,11 +235,42 @@ class Deployment:
             self._probe_task.cancel()
             self._probe_task = None
 
+    def enable_acceleration(self, mode: str = "cache", **kwargs):
+        """Attach a :class:`repro.core.accel.LookupAccelerator`.
+
+        *mode* is one of :data:`repro.core.accel.ACCEL_MODES`; extra
+        keyword arguments (static capacity, budget, learned-index sizing)
+        pass through to the accelerator.  Idempotent for a given mode;
+        asking for a different mode on a live accelerator is an error —
+        build a fresh deployment per mode so rows never share tier state.
+        """
+        if self.accelerator is not None:
+            if self.accelerator.mode != mode:
+                raise ValueError(
+                    f"acceleration already enabled in mode "
+                    f"{self.accelerator.mode!r}; cannot switch to {mode!r}"
+                )
+            return self.accelerator
+        from repro.core.accel import LookupAccelerator
+
+        self.accelerator = LookupAccelerator(
+            self.ring,
+            mode=mode,
+            ttl=kwargs.pop("ttl", self.config.lookup_cache_ttl),
+            seed=kwargs.pop("seed", self.seed),
+            registry=self.metrics,
+            tracer=self.tracer,
+            spans=self.spans,
+            **kwargs,
+        )
+        return self.accelerator
+
     def lookup_cache_for(self, client: str) -> LookupCache:
         cache = self._lookup_caches.get(client)
         if cache is None:
             cache = LookupCache(
                 ttl=self.config.lookup_cache_ttl,
+                ring=self.ring,
                 registry=self.metrics,
                 tracer=self.tracer,
             )
@@ -399,6 +431,19 @@ class Deployment:
         self.metrics.gauge("pointer.blocks").set(self.store.pointer_block_count())
         self.metrics.gauge("pointer.pending_ranges").set(len(self.store.pointer_table))
         self.metrics.gauge("sim.now").set(self.sim.now)
+        caches = list(self._lookup_caches.values())
+        if self.accelerator is not None:
+            caches.extend(self.accelerator.caches.values())
+        if caches:
+            self.metrics.gauge("lookup.caches").set(len(caches))
+            self.metrics.gauge("lookup.occupancy").set(
+                sum(len(cache) for cache in caches)
+            )
+            hits = self.metrics.counter("lookup.hits").value
+            lookups = hits + self.metrics.counter("lookup.misses").value
+            self.metrics.gauge("lookup.hit_ratio").set(
+                hits / lookups if lookups else 0.0
+            )
         snapshot: Dict[str, object] = self.metrics.snapshot(include_reservoirs=True)
         snapshot["events"] = self.tracer.counts()
         return snapshot

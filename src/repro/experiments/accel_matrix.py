@@ -1,0 +1,86 @@
+"""The acceleration matrix: ``python -m repro accel``.
+
+Sweeps lookup-acceleration modes (:data:`repro.core.accel.ACCEL_MODES`)
+against workload-shift scenarios (:data:`repro.workloads.shift.SCENARIOS`)
+over identical deployments and request streams, printing the per-phase
+hit-ratio recovery table and appending one labelled run to the
+``BENCH_scale.json`` trajectory (same file, env knobs, and schema as the
+scale matrix — a row's ``cell`` field tells the two apart).
+
+Like the scale cells, accel cells time themselves, so the disk result
+cache is disabled; the deterministic fingerprint of every row is still
+byte-identical between serial and ``--jobs N`` runs (CI's ``accel-smoke``
+job asserts it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.accel import AccelCellResult
+from repro.core.accel import ACCEL_MODES
+from repro.experiments import common
+from repro.runner import RunCache, run_cells
+from repro.workloads.shift import SCENARIOS
+
+#: Default grid — every mode under every shift shape.
+N_NODES = 64
+CLIENTS = 12
+PRE_OPS = 3000
+POST_OPS = 5000
+STATIC_CAPACITY = 12
+
+
+def accel_cells(
+    *,
+    modes: Sequence[str] = ACCEL_MODES,
+    scenarios: Sequence[str] = SCENARIOS,
+    n_nodes: int = N_NODES,
+    clients: int = CLIENTS,
+    pre_ops: int = PRE_OPS,
+    post_ops: int = POST_OPS,
+    static_capacity: int = STATIC_CAPACITY,
+    seed: int = common.SEED,
+) -> List[Dict[str, Any]]:
+    """The parameter bundles of one accel run (plain picklable dicts)."""
+    return [
+        {
+            "mode": mode,
+            "scenario": scenario,
+            "n_nodes": n_nodes,
+            "clients": clients,
+            "pre_ops": pre_ops,
+            "post_ops": post_ops,
+            "static_capacity": static_capacity,
+            "seed": seed,
+        }
+        for scenario in scenarios
+        for mode in modes
+    ]
+
+
+def run_accel(
+    *, cells: Optional[Sequence[Dict[str, Any]]] = None, jobs: Optional[int] = None
+) -> List[AccelCellResult]:
+    """Run the accel matrix, always fresh (disk cache disabled)."""
+    bundles = list(cells) if cells is not None else accel_cells()
+    return run_cells(
+        "accel",
+        bundles,
+        jobs=jobs,
+        cache=RunCache(None),
+        metrics_name="runner_accel",
+    )
+
+
+def format_accel(results: Sequence[AccelCellResult]) -> str:
+    rows = [result.row() for result in results]
+    return common.format_table(
+        rows,
+        [
+            "scenario", "mode", "lookups", "messages", "messages_post",
+            "hit_pre", "hit_post", "hit_recovered", "stale_faults",
+            "learned_hits", "capacity_end", "ttl_end", "checksum",
+        ],
+        title="Acceleration matrix: hit-ratio recovery under workload shift",
+    )

@@ -189,6 +189,19 @@ def scale_cell(params: Dict[str, Any]) -> Any:
         )
 
 
+@cell_kind("accel")
+def accel_cell(params: Dict[str, Any]) -> Any:
+    """One (acceleration mode × shift scenario) cell of the accel matrix.
+
+    Self-timing like the scale cells — the driver disables the disk
+    cache — but the deterministic fingerprint in each result row is still
+    byte-identical between serial and parallel runs.
+    """
+    from repro.analysis.accel import run_accel_cell
+
+    return run_accel_cell(params)
+
+
 @cell_kind("churn")
 def churn_cell(params: Dict[str, Any]) -> Any:
     """One (storm level, correlated, trial) cell of the churn-storm matrix."""

@@ -191,6 +191,47 @@ def _merge_result_histograms(registry: Any, results: Sequence[Any]) -> None:
         registry.register(merged[name])
 
 
+#: Counter namespaces aggregated from cell results into runner reports —
+#: the lookup-cache and acceleration telemetry (hit/miss/staleness,
+#: learned-index hits/mispredicts/retrains) that used to stay buried in
+#: per-cell snapshots while only traffic cut was visible run-level.
+_MERGED_COUNTER_PREFIXES = ("lookup.", "dht.learned.", "accel.")
+
+
+def _merge_result_counters(registry: Any, results: Sequence[Any]) -> None:
+    """Sum per-cell lookup/learned/accel counters into the runner report.
+
+    Counters are additive across cells whatever ``jobs`` was, so the
+    merged totals are deterministic.  A run-level ``lookup.hit_ratio``
+    gauge and the summed ``lookup.occupancy`` gauge are derived here so
+    ``runner_<kind>.json`` answers "how well did the caches do" directly.
+    """
+    totals: Dict[str, int] = {}
+    occupancy = 0.0
+    saw_occupancy = False
+    for result in _iter_results(results):
+        metrics = getattr(result, "metrics", None)
+        if not isinstance(metrics, Mapping):
+            continue
+        counters = metrics.get("counters")
+        if isinstance(counters, Mapping):
+            for name, value in counters.items():
+                if name.startswith(_MERGED_COUNTER_PREFIXES):
+                    totals[name] = totals.get(name, 0) + int(value)
+        gauges = metrics.get("gauges")
+        if isinstance(gauges, Mapping) and "lookup.occupancy" in gauges:
+            occupancy += float(gauges["lookup.occupancy"])
+            saw_occupancy = True
+    for name in sorted(totals):
+        registry.counter(name).inc(totals[name])
+    if totals:
+        hits = totals.get("lookup.hits", 0)
+        lookups = hits + totals.get("lookup.misses", 0)
+        registry.gauge("lookup.hit_ratio").set(hits / lookups if lookups else 0.0)
+    if saw_occupancy:
+        registry.gauge("lookup.occupancy").set(occupancy)
+
+
 def _write_trace_files(
     metrics_name: str, results: Sequence[Any], directory: str
 ) -> List[str]:
@@ -240,6 +281,7 @@ def _emit_stats_report(
     registry.gauge("runner.jobs").set(stats.jobs)
     registry.gauge("runner.wall_seconds").set(stats.wall_seconds)
     _merge_result_histograms(registry, results)
+    _merge_result_counters(registry, results)
     entry = snapshot_run({"kind": stats.kind, "jobs": stats.jobs}, registry)
     params: Dict[str, Any] = {
         "kind": stats.kind,

@@ -109,3 +109,77 @@ class TestStreamSpans:
         assert writer.rows == 500
         assert len(tracer.spans()) == 0
         assert tracer.dropped == 500  # drained, not lost: all 500 exported
+
+
+class TestDrainComposesWithTraceCli:
+    """Satellite acceptance: a run exported as several drained JSONL
+    segments must analyze identically to the same run exported whole."""
+
+    def _run_workload(self, tracer):
+        """Three fetch traces with lookup/transfer children."""
+        for i in range(3):
+            base = float(i)
+            root = tracer.start_trace("fetch", base, op=i)
+            tracer.finish(tracer.start_span("lookup", base, root), base + 0.2)
+            transfer = tracer.start_span("transfer", base + 0.2, root)
+            tracer.finish(
+                tracer.start_span("tcp.transfer", base + 0.25, transfer),
+                base + 0.5,
+            )
+            tracer.finish(transfer, base + 0.5)
+            tracer.finish(root, base + 0.5)
+            yield  # segment boundary: the caller may drain here
+
+    def _cli_body(self, path, capsys):
+        from repro.obs.tracecli import main as trace_main
+
+        assert trace_main([path, "--require-complete"]) == 0
+        out = capsys.readouterr().out
+        # Everything below the "== <path>" header must match across runs.
+        return out.split("\n", 1)[1]
+
+    def test_segmented_export_matches_undrained_run(self, tmp_path, capsys):
+        from repro.obs.tracecli import build_forest, load_spans
+
+        # Run A: drain after every trace into numbered segment files.
+        tracer = Tracer(sample=1.0, seed=7)
+        segments = []
+        for index, _ in enumerate(self._run_workload(tracer)):
+            path = tmp_path / f"segment{index}.jsonl"
+            with JsonlWriter(str(path)) as writer:
+                stream_spans(tracer, writer)
+            segments.append(path)
+        assert len(segments) == 3 and all(p.exists() for p in segments)
+        assert not tracer.drain()  # everything exported
+
+        # Run B: identical workload, exported whole at the end.
+        control = Tracer(sample=1.0, seed=7)
+        for _ in self._run_workload(control):
+            pass
+        whole = control.export_jsonl(str(tmp_path / "whole.jsonl"))
+
+        # Concatenating the segments reconstructs one valid trace file...
+        combined = tmp_path / "combined.jsonl"
+        combined.write_text(
+            "".join(p.read_text() for p in segments), encoding="utf-8"
+        )
+        spans_combined, problems = load_spans(str(combined))
+        assert not problems
+        forest_combined = build_forest(spans_combined)
+        forest_whole = build_forest(load_spans(whole)[0])
+        assert len(forest_combined.roots) == len(forest_whole.roots) == 3
+        assert not forest_combined.orphans and not forest_combined.open_spans
+
+        def shape(forest):
+            return sorted(
+                (r.name, r.start, r.end, [c.name for c in r.children])
+                for r in forest.roots
+            )
+
+        assert shape(forest_combined) == shape(forest_whole)
+
+        # ...and the CLI's full analysis (attribution, critical paths,
+        # slowest traces, flamegraph) is identical to the undrained run.
+        assert self._cli_body(str(combined), capsys) == self._cli_body(
+            whole, capsys
+        )
