@@ -74,6 +74,10 @@ class AccelCellResult:
     #: Deployment observability snapshot (counters/gauges/histograms) for
     #: the runner report; never part of a row.
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Exported span dicts (``accel.lookup`` roots carry a ``phase``
+    #: attribute); written by the runner as ``runner_accel.trace<k>.jsonl``
+    #: for ``python -m repro.obs trace --phase``.  Never part of a row.
+    trace: Optional[List[Dict[str, object]]] = None
 
     def deterministic_row(self) -> Dict[str, object]:
         return {
@@ -187,11 +191,14 @@ def run_accel_cell(params: Dict[str, Any]) -> AccelCellResult:
 
     total_ops = pre_ops + post_ops
     # Phase windows for the recovery story: warm half of pre, the quarter
-    # right after the shift, and the final quarter of the run.
+    # right after the shift, and the final quarter of the run.  The same
+    # boundaries tag every lookup span with pre/shift/post for the trace
+    # CLI's --phase attribution.
     pre_window = range(pre_ops // 2, pre_ops)
     post_quarter = max(1, post_ops // 4)
     early_window = range(pre_ops, pre_ops + post_quarter)
     late_window = range(total_ops - post_quarter, total_ops)
+    shift_end = pre_ops + post_quarter
     windows = {"pre": pre_window, "post": early_window, "recovered": late_window}
     window_hits = {name: 0 for name in windows}
     window_ops = {name: 0 for name in windows}
@@ -212,8 +219,14 @@ def run_accel_cell(params: Dict[str, Any]) -> AccelCellResult:
                     homes[client] = deployment.ring.successor(
                         home_positions[client]
                     )
+        if index < pre_ops:
+            phase = "pre"
+        elif index < shift_end:
+            phase = "shift"
+        else:
+            phase = "post"
         outcome = accel.lookup(request.client, homes[request.client],
-                               request.key, now=now)
+                               request.key, now=now, phase=phase)
         digest.update(outcome.owner.encode("ascii"))
         messages += outcome.messages
         if index >= pre_ops:
@@ -270,6 +283,7 @@ def run_accel_cell(params: Dict[str, Any]) -> AccelCellResult:
         ops_per_sec=total_ops / wall if wall > 0 else 0.0,
         peak_rss_kb=_rss_kb(),
         metrics=deployment.observability_snapshot(),
+        trace=deployment.spans.to_dicts() if deployment.spans else None,
     )
 
 

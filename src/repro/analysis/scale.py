@@ -75,6 +75,7 @@ class ScaleCellResult:
     checksum: str             # sha256 over the owner sequence, first 16 hex
     streamed_rows: int        # metrics rows streamed to JSONL
     streamed_spans: int       # spans streamed to JSONL
+    streamed_health: int = 0  # health series/alert rows streamed to JSONL
     # --- measured (excluded from the determinism contract) ---
     wall_seconds: float = 0.0
     ops_per_sec: float = 0.0
@@ -98,6 +99,7 @@ class ScaleCellResult:
             "checksum": self.checksum,
             "streamed_rows": self.streamed_rows,
             "streamed_spans": self.streamed_spans,
+            "streamed_health": self.streamed_health,
         }
 
     def row(self) -> Dict[str, object]:
@@ -251,6 +253,7 @@ def run_scale_read(
     seed: int = 11,
     span_writer=None,
     metrics_writer=None,
+    health_writer=None,
 ) -> ScaleCellResult:
     """Replay a cloned read stream through the batched read/routing path.
 
@@ -265,6 +268,12 @@ def run_scale_read(
     to *span_writer*, and advances simulated time by one second — the
     per-window ticks are pre-scheduled in one
     :meth:`Simulator.schedule_batch` call and sample the RSS curve.
+
+    When the deployment carries a health monitor
+    (:meth:`Deployment.enable_health_monitoring`, one-sim-second windows
+    line up with the replay cadence), its closed series/alert rows are
+    drained to *health_writer* every window, so health export is flat in
+    run length exactly like spans and metrics.
     """
     if ops_per_user <= 0:
         raise ValueError(f"ops_per_user must be positive, got {ops_per_user}")
@@ -273,6 +282,9 @@ def run_scale_read(
     span_writer = span_writer if span_writer is not None else NullJsonlWriter()
     metrics_writer = (
         metrics_writer if metrics_writer is not None else NullJsonlWriter()
+    )
+    health_writer = (
+        health_writer if health_writer is not None else NullJsonlWriter()
     )
     template, skipped = _read_template(deployment, trace)
     base_users = max(1, len(trace.users()))
@@ -316,6 +328,9 @@ def run_scale_read(
         fetches += sum(len(fetch) for fetch in fetch_lists)
         deployment.advance_to(base_time + float(index + 1))
         spans_streamed += stream_spans(deployment.spans, span_writer)
+        if deployment.health is not None:
+            for health_row in deployment.health.drain():
+                health_writer.write(health_row)
         metrics_writer.write(
             {
                 "window": index,
@@ -328,6 +343,9 @@ def run_scale_read(
             }
         )
     wall = time.perf_counter() - started
+    if deployment.health is not None:
+        for health_row in deployment.health.finish():
+            health_writer.write(health_row)
 
     return ScaleCellResult(
         cell="read",
@@ -342,6 +360,7 @@ def run_scale_read(
         checksum=digest.hexdigest()[:16],
         streamed_rows=metrics_writer.rows,
         streamed_spans=spans_streamed,
+        streamed_health=health_writer.rows,
         wall_seconds=wall,
         ops_per_sec=ops / wall if wall > 0 else 0.0,
         peak_rss_kb=_rss_kb(),

@@ -156,18 +156,25 @@ class LookupAccelerator:
         return cache
 
     def lookup(self, client: str, source: str, key: int,
-               now: float = 0.0) -> AccelLookup:
+               now: float = 0.0, phase: Optional[str] = None) -> AccelLookup:
         """Resolve *key* for *client* querying from node *source*.
 
         Tiers are tried in order (cache → learned → routing) and the
         resolved owner's range is written back into the client's cache, so
-        every tier's output trains the tier above it.
+        every tier's output trains the tier above it.  *phase* (e.g. the
+        accel matrix's ``pre``/``shift``/``post``) is attached to the
+        ``accel.lookup`` root span so ``python -m repro.obs trace
+        --phase`` can attribute critical-path latency per workload phase.
         """
         self._c_lookups.inc()
         spans = self._spans
-        span = (spans.start_trace("accel.lookup", now, client=client,
-                                  mode=self.mode)
-                if spans else None)
+        if spans:
+            attrs = {"client": client, "mode": self.mode}
+            if phase is not None:
+                attrs["phase"] = phase
+            span = spans.start_trace("accel.lookup", now, **attrs)
+        else:
+            span = None
         stale = False
         extra = 0
         cache = self.cache_for(client) if self.use_cache else None

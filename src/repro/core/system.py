@@ -149,6 +149,7 @@ class Deployment:
         self.membership = None  # MembershipService, set by enable_dynamic_membership
         self.repair = None      # RepairScheduler, set alongside it
         self.accelerator = None  # LookupAccelerator, set by enable_acceleration
+        self.health = None      # HealthMonitor, set by enable_health_monitoring
 
     def enable_dynamic_membership(self, *, min_nodes: Optional[int] = None):
         """Attach live join/leave/crash protocols with replica repair.
@@ -184,6 +185,9 @@ class Deployment:
             registry=self.metrics,
             tracer=self.tracer,
         )
+        if self.health is not None:
+            # Monitoring was enabled first: attach the repair push hooks.
+            self.repair.attach_timeseries(self.health.bank)
         return self.membership
 
     # ------------------------------------------------------------------
@@ -234,6 +238,38 @@ class Deployment:
         if self._probe_task is not None:
             self._probe_task.cancel()
             self._probe_task = None
+
+    def enable_health_monitoring(
+        self,
+        *,
+        window: float = 900.0,
+        rules=None,
+        node_level: bool = True,
+        retention: int = 32768,
+    ):
+        """Attach sim-time SLO monitoring (:class:`repro.obs.health.HealthMonitor`).
+
+        Samples membership/repair/balancer/lookup state at every *window*
+        seconds of sim-time, evaluates the SLO rules (``rules=None`` means
+        :func:`repro.obs.health.default_rules`) on closed windows, and
+        buffers series + alert rows for :meth:`HealthMonitor.drain` /
+        JSONL streaming.  Enable *after* ``enable_dynamic_membership`` so
+        the repair scheduler's push hooks attach.  Idempotent; returns
+        the monitor (also at ``self.health``).
+        """
+        if self.health is not None:
+            return self.health
+        from repro.obs.health import HealthMonitor
+
+        self.health = HealthMonitor(
+            self,
+            window=window,
+            rules=rules,
+            node_level=node_level,
+            retention=retention,
+        )
+        self.health.start()
+        return self.health
 
     def enable_acceleration(self, mode: str = "cache", **kwargs):
         """Attach a :class:`repro.core.accel.LookupAccelerator`.
@@ -446,6 +482,8 @@ class Deployment:
             )
         snapshot: Dict[str, object] = self.metrics.snapshot(include_reservoirs=True)
         snapshot["events"] = self.tracer.counts()
+        if self.health is not None:
+            snapshot["health"] = self.health.summary()
         return snapshot
 
 

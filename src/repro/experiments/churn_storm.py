@@ -13,6 +13,13 @@ that matter for durability:
 * **data-loss probability** — blocks whose whole replica group died inside
   one repair window, over all blocks tracked.
 
+Every cell runs under sim-time health monitoring
+(:mod:`repro.obs.health`): the replica-deficit and backlog SLO rules
+turn the storm from a pass/fail total into an alert timeline — fire
+during the storm, resolve after the drain — attached to each row as the
+``health`` payload (written to ``runner_churn.health<k>.jsonl`` by the
+runner, rendered by ``python -m repro.obs health``).
+
 Every cell is a deterministic function of its parameter bundle and runs
 through :mod:`repro.runner`, so rows are bit-identical serial vs
 ``--jobs N`` and cache cleanly.
@@ -64,6 +71,9 @@ def run_churn_cell(params: Dict[str, object]) -> Dict[str, object]:
     deployment.load_initial_image(trace)
     deployment.stabilize()
     membership = deployment.enable_dynamic_membership()
+    monitor = deployment.enable_health_monitoring(
+        window=float(params.get("health_window", 900.0))
+    )
 
     storm = ChurnStormConfig(
         duration=duration,
@@ -114,6 +124,8 @@ def run_churn_cell(params: Dict[str, object]) -> Dict[str, object]:
     lost = repair.stats.lost_keys
     population = lost + len(deployment.store.directory)
 
+    health_rows = monitor.finish()
+    health_summary = monitor.summary()
     stabilization = deployment.metrics.histogram("pointer.stabilization_seconds")
     row: Dict[str, object] = {
         "level": params["level"],
@@ -133,6 +145,17 @@ def run_churn_cell(params: Dict[str, object]) -> Dict[str, object]:
         "loss_prob": round(lost / population, 6) if population else 0.0,
         "fully_replicated": round(full / len(tracked), 6) if tracked else 1.0,
         "events_fired": deployment.metrics.counter("sim.events_fired").value,
+        "alerts_fired": health_summary["alerts_fired"],
+        "alerts_resolved": health_summary["alerts_resolved"],
+        "alerts_active": health_summary["alerts_active"],
+        # Full per-window health export: series + alert rows plus the
+        # roll-up, attached for the runner's health-file writer and the
+        # ``python -m repro.obs health`` CLI.
+        "health": {
+            "window": monitor.window,
+            "summary": health_summary,
+            "rows": health_rows,
+        },
     }
     row.update(repair.stats.to_row())
     return row
@@ -205,6 +228,8 @@ def format_churn_storm(rows: List[dict]) -> str:
             "lost_keys",
             "loss_prob",
             "fully_replicated",
+            "alerts_fired",
+            "alerts_resolved",
         ],
         title="Churn storm: membership dynamics, repair, and durability",
     )

@@ -37,6 +37,12 @@ LABEL_ENV = "REPRO_SCALE_LABEL"
 DEFAULT_BENCH_PATH = "BENCH_scale.json"
 BENCH_SCHEMA = 1
 
+#: Per-run-entry schema version.  v1 entries predate versioning (the
+#: committed pr7/pr8 runs) and are stamped by :func:`migrate_run` on
+#: load; v2 read cells carry ``streamed_health`` (the health-export row
+#: count added with the sim-time health monitor).
+RUN_SCHEMA = 2
+
 #: Default grid: routing throughput at 10^3 and 10^4 nodes, plus one
 #: 10^5-user read replay on a 10^3-node deployment (image replicated
 #: from a 250-node base, per Section 9.1).
@@ -134,6 +140,72 @@ def bench_path(explicit: Optional[str] = None) -> str:
     return os.environ.get(BENCH_ENV, "").strip() or DEFAULT_BENCH_PATH
 
 
+def migrate_run(run: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp an unversioned run entry as schema v1 (pre-versioning).
+
+    The committed pr7/pr8 runs predate the per-entry ``schema`` field;
+    loading stamps them ``1`` so every entry downstream tooling sees is
+    explicitly versioned.  Already-versioned entries pass through
+    untouched.  Returns the (possibly new) entry.
+    """
+    if "schema" not in run:
+        run = dict(run, schema=1)
+    return run
+
+
+def validate_run(run: Any, index: int) -> List[str]:
+    """Structural problems with one (already migrated) run entry."""
+    problems: List[str] = []
+    where = f"runs[{index}]"
+    if not isinstance(run, dict):
+        return [f"{where}: not an object"]
+    schema = run.get("schema")
+    if not isinstance(schema, int) or not 1 <= schema <= RUN_SCHEMA:
+        problems.append(
+            f"{where}: schema {schema!r} not an int in [1, {RUN_SCHEMA}]"
+        )
+    if not isinstance(run.get("label"), str) or not run["label"]:
+        problems.append(f"{where}: missing/empty label")
+    cells = run.get("cells")
+    if not isinstance(cells, list) or not cells:
+        problems.append(f"{where}: cells must be a non-empty list")
+    else:
+        for j, cell in enumerate(cells):
+            if not isinstance(cell, dict) or "cell" not in cell:
+                problems.append(f"{where}.cells[{j}]: not a cell row")
+    return problems
+
+
+def load_trajectory(path: str) -> Dict[str, Any]:
+    """Load, migrate, and validate a ``BENCH_scale.json`` document.
+
+    Unversioned run entries are migrated in memory (stamped schema 1);
+    a document that still fails validation raises ``ValueError`` naming
+    every problem, so a corrupt trajectory is an error rather than a
+    silent reset.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    if not isinstance(loaded, dict) or loaded.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: document schema {loaded.get('schema')!r} "
+            f"!= {BENCH_SCHEMA}" if isinstance(loaded, dict)
+            else f"{path}: not a JSON object"
+        )
+    runs = loaded.get("runs")
+    if not isinstance(runs, list):
+        raise ValueError(f"{path}: runs must be a list")
+    loaded["runs"] = [
+        migrate_run(run) if isinstance(run, dict) else run for run in runs
+    ]
+    problems: List[str] = []
+    for index, run in enumerate(loaded["runs"]):
+        problems.extend(validate_run(run, index))
+    if problems:
+        raise ValueError(f"{path}: " + "; ".join(problems))
+    return loaded
+
+
 def record_trajectory(
     results: Sequence[ScaleCellResult],
     *,
@@ -144,20 +216,21 @@ def record_trajectory(
 
     The file holds every recorded run in order, so a sequence of PRs
     leaves a throughput/memory curve rather than a single overwritten
-    number.  Returns the path written.
+    number.  Existing entries are validated (and unversioned ones
+    migrated to an explicit ``schema``) before the new run — stamped
+    :data:`RUN_SCHEMA` — is appended.  Returns the path written.
     """
     target = bench_path(path)
     label = label or os.environ.get(LABEL_ENV, "").strip() or "local"
     document: Dict[str, Any] = {"schema": BENCH_SCHEMA, "runs": []}
     if os.path.exists(target):
-        with open(target, "r", encoding="utf-8") as handle:
-            loaded = json.load(handle)
-        if loaded.get("schema") == BENCH_SCHEMA and isinstance(
-            loaded.get("runs"), list
-        ):
-            document = loaded
+        document = load_trajectory(target)
     document["runs"].append(
-        {"label": label, "cells": [result.row() for result in results]}
+        {
+            "label": label,
+            "schema": RUN_SCHEMA,
+            "cells": [result.row() for result in results],
+        }
     )
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)

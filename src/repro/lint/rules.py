@@ -1,6 +1,6 @@
 """The invariant rules: determinism, observability, and key hygiene.
 
-Five rule families, each a :class:`Rule` producing :class:`Finding`\\ s:
+Six rule families, each a :class:`Rule` producing :class:`Finding`\\ s:
 
 * **DET001** — no wall-clock reads (``time.time``, ``datetime.now``,
   ``time.monotonic``...) anywhere results can depend on them.
@@ -12,6 +12,10 @@ Five rule families, each a :class:`Rule` producing :class:`Finding`\\ s:
 * **OBS001** — observability contracts: ``tracer.span(...)`` only as a
   context manager; every emitted event kind registered in the vocabulary
   (:func:`repro.obs.events.register_kind` or the core constants).
+* **OBS002** — time-series samples carry **sim-time**, never host-clock
+  reads: no ``time.perf_counter()`` / ``time.process_time()`` (nor any
+  DET001 wall-clock source) fed into ``series.sample(...)`` /
+  ``bank.sample(...)``.
 * **KEY001** — ring keys are built by ``KeyScheme``/``compose_block_key``/
   ``hashed_key``, never hand-packed from shifts, digests, or raw bytes.
 
@@ -548,6 +552,65 @@ class ObservabilityRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# OBS002 — time-series samples carry sim-time
+
+
+class TimeSeriesSimTimeRule(Rule):
+    id = "OBS002"
+    title = "time-series samples carry sim-time, not host-clock reads"
+    hint = ("sample(sim.now, value) — a host-clock timestamp makes the "
+            "window geometry (and every SLO evaluation) machine-dependent; "
+            "time.perf_counter belongs in measured wall-clock fields only")
+
+    #: Receivers whose ``.sample``/``.record`` is a time-series write;
+    #: other samplers (if any ever appear) are out of scope.
+    _SERIESISH = ("series", "bank", "timeseries", "health", "monitor")
+
+    #: Every DET001 wall-clock source, plus the process timers DET001
+    #: sanctions for wall-clock *reporting* — none of them may become a
+    #: sample timestamp or value.
+    BANNED = WallClockRule.BANNED | frozenset({
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    })
+
+    def _receiver_name(self, func: ast.Attribute) -> str:
+        value = func.value
+        if isinstance(value, ast.Attribute):
+            return value.attr
+        if isinstance(value, ast.Name):
+            return value.id
+        return ""
+
+    def check(self, module: ParsedModule, context: LintContext) -> List[Finding]:
+        imports = imported_names(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in ("sample", "record"):
+                continue
+            receiver = self._receiver_name(node.func).lower()
+            if not any(tag in receiver for tag in self._SERIESISH):
+                continue
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            for argument in arguments:
+                for inner in ast.walk(argument):
+                    if not isinstance(inner, ast.Call):
+                        continue
+                    origin = resolve_call_target(inner.func, imports)
+                    if origin in self.BANNED:
+                        findings.append(self.finding(
+                            module, inner,
+                            f"host-clock read {origin}() fed into a "
+                            f"time-series .{node.func.attr}()",
+                        ))
+        return _filter_allowed(module, findings)
+
+
+# ---------------------------------------------------------------------------
 # KEY001 — no hand-packed ring keys
 
 
@@ -654,6 +717,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
     UnorderedIterationRule(),
     ObservabilityRule(),
+    TimeSeriesSimTimeRule(),
     KeyCompositionRule(),
 )
 

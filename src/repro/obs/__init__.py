@@ -15,9 +15,10 @@ Usage sketch::
 
 ``python -m repro.obs summary demo.json`` pretty-prints a report;
 ``python -m repro.obs validate demo.json`` checks it against the schema;
-``python -m repro.obs trace spans.jsonl`` analyzes a span-trace export.
-See ``docs/observability.md`` for the metric-name, event, and span
-catalogs.
+``python -m repro.obs trace spans.jsonl`` analyzes a span-trace export;
+``python -m repro.obs health health.jsonl`` renders a health-export
+alert timeline and per-node drill-down.  See ``docs/observability.md``
+for the metric-name, event, span, and time-series catalogs.
 """
 
 from repro.obs.events import (
@@ -65,12 +66,29 @@ from repro.obs.report import (
     validate_report,
     write_report,
 )
+from repro.obs.timeseries import (
+    COUNTER,
+    GAUGE,
+    TimeSeries,
+    TimeSeriesBank,
+    TimeSeriesError,
+)
+from repro.obs.health import (
+    Alert,
+    HealthMonitor,
+    SloEngine,
+    SloRule,
+    default_rules,
+)
 
 __all__ = [
+    "Alert",
     "BALANCE_MOVE",
     "BALANCE_PROBE",
     "BASE_EVENT_KINDS",
+    "COUNTER",
     "EVENT_KINDS",
+    "GAUGE",
     "LOOKUP_HIT",
     "LOOKUP_MISS",
     "LOOKUP_STALE",
@@ -88,14 +106,21 @@ __all__ = [
     "EventError",
     "EventTracer",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "MetricsError",
     "MetricsRegistry",
     "NullTracer",
+    "SloEngine",
+    "SloRule",
     "Span",
     "SpanError",
+    "TimeSeries",
+    "TimeSeriesBank",
+    "TimeSeriesError",
     "Tracer",
     "build_report",
+    "default_rules",
     "load_report",
     "register_kind",
     "snapshot_run",

@@ -4,8 +4,10 @@
 only checks the report schema; ``trace`` analyzes a span-trace JSONL
 export (tree reconstruction, per-phase latency attribution, critical
 paths, slowest traces, text flamegraph — see ``python -m repro.obs trace
---help``).  Bare file arguments default to ``summary``.  Exit code is 0
-when every file is valid, 1 otherwise (2 on usage errors).
+--help``); ``health`` renders a health-export JSONL (per-window series,
+SLO alert timeline, worst-node drill-down — see ``python -m repro.obs
+health --help``).  Bare file arguments default to ``summary``.  Exit
+code is 0 when every file is valid, 1 otherwise (2 on usage errors).
 """
 
 from __future__ import annotations
@@ -27,8 +29,8 @@ def _parser() -> argparse.ArgumentParser:
         "command",
         nargs="?",
         default="summary",
-        help="'summary' (default), 'validate', or 'trace'; a file path "
-        "implies summary",
+        help="'summary' (default), 'validate', 'trace', or 'health'; a "
+        "file path implies summary",
     )
     parser.add_argument("files", nargs="*", help="report JSON / trace JSONL files")
     return parser
@@ -41,6 +43,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.tracecli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "health":
+        # The health analyzer owns its flag set (--top, --require-cycle, …).
+        from repro.obs.healthcli import main as health_main
+
+        return health_main(argv[1:])
     args = _parser().parse_args(argv)
     command, files = args.command, list(args.files)
     if command not in ("summary", "validate"):

@@ -48,7 +48,12 @@ CACHE_ENV = "REPRO_RUN_CACHE"
 #: verified bit-identical to the code they replaced, so every cached
 #: result stays valid.  Bumping here invalidates every user's cache — do
 #: it only when result *content* changes.
-SCHEMA_VERSION = 2
+#:
+#: v3: churn rows grew alert counts plus the ``health`` payload
+#: (per-window time-series and SLO-alert export), and accel results
+#: grew ``trace``; health monitoring also advances membership runs'
+#: ``events_fired``, so pre-v3 churn rows are stale in content.
+SCHEMA_VERSION = 3
 
 
 def cache_key(kind: str, params: Mapping[str, Any]) -> str:

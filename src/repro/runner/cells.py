@@ -165,9 +165,13 @@ def scale_cell(params: Dict[str, Any]) -> Any:
         params["system"], params["n_nodes"], seed=params["seed"]
     )
     deployment.load_initial_image(trace)
+    # Sim-time health series at the replay cadence (one window per sim
+    # second); node-level series are off — 10^3+ per-node series would
+    # swamp the export without changing the cluster-level story.
+    deployment.enable_health_monitoring(window=1.0, node_level=False)
     export_dir = os.environ.get("REPRO_SCALE_EXPORT_DIR", "").strip()
     with contextlib.ExitStack() as stack:
-        span_writer = metrics_writer = None
+        span_writer = metrics_writer = health_writer = None
         if export_dir:
             stem = f"scale_read_{params['n_nodes']}x{params['users']}"
             span_writer = stack.enter_context(
@@ -175,6 +179,9 @@ def scale_cell(params: Dict[str, Any]) -> Any:
             )
             metrics_writer = stack.enter_context(
                 JsonlWriter(os.path.join(export_dir, f"{stem}_metrics.jsonl"))
+            )
+            health_writer = stack.enter_context(
+                JsonlWriter(os.path.join(export_dir, f"{stem}_health.jsonl"))
             )
         return run_scale_read(
             deployment,
@@ -186,6 +193,7 @@ def scale_cell(params: Dict[str, Any]) -> Any:
             seed=params["seed"],
             span_writer=span_writer,
             metrics_writer=metrics_writer,
+            health_writer=health_writer,
         )
 
 

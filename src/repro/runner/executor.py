@@ -232,6 +232,97 @@ def _merge_result_counters(registry: Any, results: Sequence[Any]) -> None:
         registry.gauge("lookup.occupancy").set(occupancy)
 
 
+def _health_payload(result: Any) -> Optional[Mapping[str, Any]]:
+    """The ``health`` export attached to one cell result, if any.
+
+    Churn rows are plain dicts with a ``health`` key; dataclass results
+    may carry a ``health`` attribute.  Either way the payload is a
+    mapping holding ``rows`` (series + alert dicts) and ``summary``.
+    """
+    if isinstance(result, Mapping):
+        payload = result.get("health")
+    else:
+        payload = getattr(result, "health", None)
+    return payload if isinstance(payload, Mapping) else None
+
+
+def _iter_health_carriers(results: Sequence[Any]):
+    """Yield every result carrying a ``health`` payload.
+
+    Unlike :func:`_iter_results`, a mapping is tested *before* being
+    flattened: churn rows are plain dicts, and flattening them into
+    values would strip the ``health`` key off the row that owns it.
+    """
+    for result in results:
+        if _health_payload(result) is not None:
+            yield result
+        elif isinstance(result, Mapping):
+            yield from _iter_health_carriers(list(result.values()))
+
+
+def _merge_health_summaries(registry: Any, results: Sequence[Any]) -> None:
+    """Sum per-cell alert totals into the runner report.
+
+    Alert counts are additive across cells whatever ``jobs`` was, so the
+    merged totals are deterministic.  Per-severity fired counters make
+    ``runner_<kind>.json`` answer "did anything go critical" directly.
+    """
+    fired = resolved = active = 0
+    by_severity: Dict[str, int] = {}
+    saw_health = False
+    for result in _iter_health_carriers(results):
+        payload = _health_payload(result)
+        if payload is None:
+            continue
+        summary = payload.get("summary")
+        if not isinstance(summary, Mapping):
+            continue
+        saw_health = True
+        fired += int(summary.get("alerts_fired", 0))
+        resolved += int(summary.get("alerts_resolved", 0))
+        active += int(summary.get("alerts_active", 0))
+        severities = summary.get("by_severity")
+        if isinstance(severities, Mapping):
+            for severity, count in severities.items():
+                by_severity[severity] = by_severity.get(severity, 0) + int(count)
+    if not saw_health:
+        return
+    registry.counter("health.alerts_fired").inc(fired)
+    registry.counter("health.alerts_resolved").inc(resolved)
+    registry.gauge("health.alerts_active").set(active)
+    for severity in sorted(by_severity):
+        registry.counter(f"health.alerts_fired.{severity}").inc(
+            by_severity[severity]
+        )
+
+
+def _write_health_files(
+    metrics_name: str, results: Sequence[Any], directory: str
+) -> List[str]:
+    """Export each cell's health rows as ``<metrics_name>.health<k>.jsonl``.
+
+    One file per monitored cell, rows in evaluation order — exactly what
+    ``python -m repro.obs health`` consumes.
+    """
+    from repro.obs.stream import JsonlWriter
+
+    filenames: List[str] = []
+    for result in _iter_health_carriers(results):
+        payload = _health_payload(result)
+        if payload is None:
+            continue
+        rows = payload.get("rows")
+        if not rows:
+            continue
+        os.makedirs(directory, exist_ok=True)
+        filename = f"{metrics_name}.health{len(filenames)}.jsonl"
+        with JsonlWriter(os.path.join(directory, filename)) as writer:
+            for row in rows:
+                writer.write(row)
+        filenames.append(filename)
+    return filenames
+
+
 def _write_trace_files(
     metrics_name: str, results: Sequence[Any], directory: str
 ) -> List[str]:
@@ -282,6 +373,7 @@ def _emit_stats_report(
     registry.gauge("runner.wall_seconds").set(stats.wall_seconds)
     _merge_result_histograms(registry, results)
     _merge_result_counters(registry, results)
+    _merge_health_summaries(registry, results)
     entry = snapshot_run({"kind": stats.kind, "jobs": stats.jobs}, registry)
     params: Dict[str, Any] = {
         "kind": stats.kind,
@@ -291,4 +383,7 @@ def _emit_stats_report(
     traces = _write_trace_files(metrics_name, results, directory)
     if traces:
         params["traces"] = traces
+    health = _write_health_files(metrics_name, results, directory)
+    if health:
+        params["health"] = health
     return common.emit_metrics_report(metrics_name, [entry], params, directory)

@@ -215,8 +215,24 @@ class RepairScheduler:
         self._g_backlog = self.metrics.gauge("repair.backlog")
         self._buckets: Dict[str, TokenBucket] = {}
         self._in_flight: Dict[Tuple[int, str], RepairJob] = {}
+        self._backlog_series = None
+        self._deficit_series = None
         store.attach_replica_tracker(self.tracker)
         store.attach_range_reconciler(self.reconcile_range)
+
+    def attach_timeseries(self, bank) -> None:
+        """Push backlog/deficit samples into a health time-series bank.
+
+        Repairs at 8 KB blocks complete in well under a window, so a
+        boundary-only scan would read a backlog of ~0 even mid-storm;
+        ``max``-aggregated push samples from every in-flight mutation
+        preserve the intra-window peak, while the monitor's boundary
+        samples of the same series supply the zeros that let alerts
+        resolve once the backlog drains.
+        """
+        self._backlog_series = bank.series("repair.backlog", agg="max")
+        self._deficit_series = bank.series("repair.deficit", agg="max")
+        self._update_backlog()
 
     # ------------------------------------------------------------------
     # membership entry points
@@ -441,6 +457,13 @@ class RepairScheduler:
         self._g_backlog.set(backlog)
         if backlog > self.stats.max_backlog:
             self.stats.max_backlog = backlog
+        if self._backlog_series is not None:
+            now = self.sim.now
+            self._backlog_series.sample(now, float(backlog))
+            # Distinct keys with a repair in flight == keys currently
+            # known to be under-replicated.
+            deficit = len({key for key, _target in self._in_flight})
+            self._deficit_series.sample(now, float(deficit))
 
     def seed_from_directory(self) -> None:
         """Adopt an already-loaded image: every block sits on its group.

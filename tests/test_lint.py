@@ -313,6 +313,58 @@ def test_obs001_skips_non_tracer_emit(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# OBS002 — sim-time-only time-series samples
+
+
+def test_obs002_flags_perf_counter_samples(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+
+        def run(series, bank):
+            series.sample(time.perf_counter(), 1.0)
+            bank.sample("lookup.hit_ratio", time.perf_counter_ns(), 0.5)
+            series.record(time.process_time(), 2.0)
+    """)
+    assert [f.rule for f in findings] == ["OBS002", "OBS002", "OBS002"]
+    assert "time.perf_counter()" in findings[0].message
+
+
+def test_obs002_flags_wall_clock_samples_too(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+
+        def run(monitor_series):
+            monitor_series.sample(time.time(), 1.0)
+    """)
+    # DET001 also fires on the raw time.time() read; OBS002 adds the
+    # series-specific diagnostic on top.
+    assert rules_of(findings) == ["DET001", "OBS002"]
+
+
+def test_obs002_allows_sim_time_and_measured_fields(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+
+        def run(sim, series, bank):
+            series.sample(sim.now, 1.0)
+            bank.sample("repair.backlog", sim.now, value=3.0)
+            wall = time.perf_counter()  # measured field, not a sample
+            return wall
+    """)
+    assert findings == []
+
+
+def test_obs002_skips_non_series_receivers(tmp_path):
+    findings = lint(tmp_path, """
+        import time
+
+        def run(profiler):
+            profiler.sample(time.perf_counter())
+    """)
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # KEY001 — hand-packed keys
 
 
@@ -446,7 +498,9 @@ def test_json_report_schema(tmp_path, capsys):
     assert payload["version"] == 1
     assert payload["tool"] == "repro.lint"
     assert payload["files_scanned"] == 1
-    assert set(payload["summary"]) == {"DET001", "DET002", "DET003", "OBS001", "KEY001"}
+    assert set(payload["summary"]) == {
+        "DET001", "DET002", "DET003", "OBS001", "OBS002", "KEY001",
+    }
     assert payload["summary"]["DET001"] == 1
     (finding,) = payload["findings"]
     assert set(finding) == {"rule", "path", "line", "col", "message", "hint"}

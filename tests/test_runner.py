@@ -307,3 +307,64 @@ class TestMemoKnobs:
         assert common.memo_max_entries() == common.DEFAULT_MEMO_MAX
         monkeypatch.setenv(common.MEMO_MAX_ENV, "-5")
         assert common.memo_max_entries() == 1
+
+
+@cell_kind("test-health-row")
+def _health_row_cell(params):
+    """A churn-shaped result: a plain dict whose ``health`` key carries
+    the monitor export (rows + summary)."""
+    return {
+        "level": params["level"],
+        "health": {
+            "window": 900.0,
+            "summary": {
+                "alerts_fired": params["fired"],
+                "alerts_resolved": params["fired"],
+                "alerts_active": 0,
+                "by_severity": {"critical": params["fired"]},
+            },
+            "rows": [
+                {"type": "series", "name": "ring.nodes", "kind": "gauge",
+                 "labels": {}, "window": 0, "start": 0.0, "end": 900.0,
+                 "count": 1, "value": 8},
+            ],
+        },
+    }
+
+
+class TestHealthExport:
+    """Dict-shaped cell rows must surface their ``health`` payload.
+
+    Regression: ``_iter_results`` flattens mappings into values, which
+    strips the ``health`` key off churn-style dict rows — the runner
+    then exported no health files and merged no alert counters.
+    """
+
+    def test_dict_rows_export_health_files_and_counters(
+        self, tmp_path, monkeypatch
+    ):
+        metrics_dir = tmp_path / "metrics"
+        monkeypatch.setenv(common.METRICS_DIR_ENV, str(metrics_dir))
+        cells = [
+            {"level": "calm", "fired": 1},
+            {"level": "storm", "fired": 2},
+        ]
+        run_cells("test-health-row", cells, jobs=1, metrics_name="runner_hx")
+
+        files = sorted(os.listdir(metrics_dir))
+        assert files == [
+            "runner_hx.health0.jsonl", "runner_hx.health1.jsonl",
+            "runner_hx.json",
+        ]
+        with open(metrics_dir / "runner_hx.json") as fh:
+            report = json.load(fh)
+        assert report["params"]["health"] == [
+            "runner_hx.health0.jsonl", "runner_hx.health1.jsonl",
+        ]
+        counters = report["runs"][0]["counters"]
+        assert counters["health.alerts_fired"] == 3
+        assert counters["health.alerts_fired.critical"] == 3
+        assert counters["health.alerts_resolved"] == 3
+        with open(metrics_dir / "runner_hx.health1.jsonl") as fh:
+            rows = [json.loads(line) for line in fh]
+        assert rows and rows[0]["name"] == "ring.nodes"

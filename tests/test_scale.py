@@ -216,3 +216,91 @@ class TestScaleHarness:
         d.load_initial_image(trace)
         result = run_scale_read(d, trace, copies=2, users=3, ops_per_user=1)
         assert result.ops == 3 and result.skipped == 0
+
+
+class TestBenchTrajectorySchema:
+    """BENCH_scale.json run entries carry an explicit per-entry schema."""
+
+    def _result(self):
+        from repro.analysis.scale import ScaleCellResult
+
+        return ScaleCellResult(
+            cell="routing", n_nodes=8, users=0, ops=10, windows=1,
+            hops=20, messages=30, fetches=0, skipped=0, checksum="ab",
+            streamed_rows=0, streamed_spans=0,
+        )
+
+    def test_migrate_stamps_unversioned_entries(self):
+        from repro.experiments.scale_matrix import migrate_run
+
+        legacy = {"label": "pr7", "cells": [{"cell": "routing"}]}
+        migrated = migrate_run(legacy)
+        assert migrated["schema"] == 1
+        assert "schema" not in legacy  # original left untouched
+        versioned = {"label": "x", "schema": 2, "cells": [{"cell": "read"}]}
+        assert migrate_run(versioned) is versioned
+
+    def test_validate_run_reports_problems(self):
+        from repro.experiments.scale_matrix import RUN_SCHEMA, validate_run
+
+        good = {"label": "x", "schema": RUN_SCHEMA,
+                "cells": [{"cell": "read"}]}
+        assert validate_run(good, 0) == []
+        problems = validate_run(
+            {"label": "", "schema": RUN_SCHEMA + 1, "cells": "nope"}, 3
+        )
+        assert len(problems) == 3
+        assert all(p.startswith("runs[3]") for p in problems)
+        assert validate_run("garbage", 0) == ["runs[0]: not an object"]
+
+    def test_record_appends_versioned_and_migrates_on_load(self, tmp_path):
+        import json
+
+        from repro.experiments.scale_matrix import (
+            BENCH_SCHEMA,
+            RUN_SCHEMA,
+            load_trajectory,
+            record_trajectory,
+        )
+
+        target = tmp_path / "BENCH_scale.json"
+        # Seed a pre-versioning document (the committed pr7 shape).
+        target.write_text(json.dumps({
+            "schema": BENCH_SCHEMA,
+            "runs": [{"label": "pr7", "cells": [{"cell": "routing"}]}],
+        }))
+        record_trajectory([self._result()], path=str(target), label="pr9")
+        document = load_trajectory(str(target))
+        assert [(r["label"], r["schema"]) for r in document["runs"]] == [
+            ("pr7", 1), ("pr9", RUN_SCHEMA),
+        ]
+
+    def test_load_rejects_corrupt_documents(self, tmp_path):
+        import json
+
+        import pytest as _pytest
+
+        from repro.experiments.scale_matrix import load_trajectory
+
+        target = tmp_path / "BENCH_scale.json"
+        target.write_text(json.dumps({"schema": 99, "runs": []}))
+        with _pytest.raises(ValueError):
+            load_trajectory(str(target))
+        target.write_text(json.dumps({
+            "schema": 1,
+            "runs": [{"label": "", "schema": 1, "cells": []}],
+        }))
+        with _pytest.raises(ValueError):
+            load_trajectory(str(target))
+
+    def test_committed_trajectory_validates(self):
+        import os
+
+        from repro.experiments.scale_matrix import load_trajectory
+
+        committed = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_scale.json",
+        )
+        document = load_trajectory(committed)
+        assert all("schema" in run for run in document["runs"])

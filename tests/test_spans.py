@@ -397,3 +397,72 @@ class TestRunnerTraceAttachment:
             assert 80 <= merged["p50"] <= 120
         finally:
             CELL_KINDS.pop("histo-fake", None)
+
+
+class TestWorkloadPhaseGrouping:
+    """--phase: accel.lookup roots grouped by their workload-phase tag."""
+
+    def _phased_tracer(self):
+        tracer = Tracer(sample=1.0, seed=5)
+        for index, phase in enumerate(
+            ["pre", "pre", "shift", "post", "post", "post"]
+        ):
+            base = float(index)
+            root = tracer.start_trace("accel.lookup", base, phase=phase)
+            tracer.finish(
+                tracer.start_span("route.hop", base, root), base + 0.2
+            )
+            tracer.finish(root, base + 0.5)
+        # One untagged root lands in the "(none)" bucket.
+        tracer.finish(tracer.start_trace("accel.lookup", 9.0), 9.1)
+        return tracer
+
+    def test_groups_and_order(self, tmp_path):
+        from repro.obs.tracecli import (
+            build_forest,
+            load_spans,
+            ordered_workload_phases,
+            workload_phase_groups,
+        )
+
+        tracer = self._phased_tracer()
+        path = tracer.export_jsonl(str(tmp_path / "phased.jsonl"))
+        forest = build_forest(load_spans(path)[0])
+        groups = workload_phase_groups(forest.roots)
+        assert {k: len(v) for k, v in groups.items()} == {
+            "pre": 2, "shift": 1, "post": 3, "(none)": 1,
+        }
+        assert ordered_workload_phases(groups) == [
+            "pre", "shift", "post", "(none)",
+        ]
+
+    def test_extra_phases_sort_after_named_ones(self):
+        from repro.obs.tracecli import ordered_workload_phases
+
+        assert ordered_workload_phases(
+            {"zeta": [], "post": [], "(none)": [], "alpha": [], "pre": []}
+        ) == ["pre", "post", "alpha", "zeta", "(none)"]
+
+    def test_cli_phase_flag_renders_section(self, tmp_path, capsys):
+        tracer = self._phased_tracer()
+        path = tracer.export_jsonl(str(tmp_path / "phased.jsonl"))
+        assert trace_main([path, "--phase"]) == 0
+        out = capsys.readouterr().out
+        assert "per-workload-phase critical-path attribution" in out
+        for tag in ("phase pre", "phase shift", "phase post", "phase (none)"):
+            assert tag in out
+
+    def test_accelerator_tags_spans_with_phase(self):
+        from repro.core.accel import LookupAccelerator
+        from repro.dht.keyspace import KEY_SPACE
+        from repro.dht.ring import Ring
+
+        ring = Ring()
+        for i in range(8):
+            ring.join(f"n{i}", (i + 1) * (KEY_SPACE // 9))
+        tracer = Tracer(sample=1.0, seed=1)
+        accel = LookupAccelerator(ring, mode="none", spans=tracer)
+        accel.lookup("c0", "n0", KEY_SPACE // 3, now=1.0, phase="shift")
+        accel.lookup("c0", "n0", KEY_SPACE // 2, now=2.0)
+        roots = [s for s in tracer.spans() if s.name == "accel.lookup"]
+        assert [s.attrs.get("phase") for s in roots] == ["shift", None]
