@@ -233,6 +233,9 @@ def record_trajectory(
         }
     )
     with open(target, "w", encoding="utf-8") as handle:
+        # The $REPRO_SCALE_LABEL-derived run label is provenance metadata
+        # (who recorded this run), never an input to any comparison.
+        # lint: allow=DET004
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return target

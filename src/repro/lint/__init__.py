@@ -3,10 +3,13 @@
 Two halves, one contract ("cells are bit-deterministic given their param
 bundle"):
 
-* the **AST linter** (``python -m repro.lint``): rules DET001/DET002/
-  DET003/OBS001/KEY001 over the source tree, with a checked-in baseline
-  and a JSON report mode — see :mod:`repro.lint.rules` and
-  ``docs/static-analysis.md``.
+* the **AST linter** (``python -m repro.lint``): per-file rules DET001/
+  DET002/DET003/OBS001/OBS002/KEY001 over the source tree, with a
+  checked-in baseline and a JSON report mode — see
+  :mod:`repro.lint.rules` and ``docs/static-analysis.md``.
+* the **flow engine** (``--flow``): whole-program passes DET004 (taint),
+  PAR001/PUR001 (parallel/memo purity), CACHE001 (cache-key soundness)
+  — see :mod:`repro.lint.flow`.
 * the **runtime sanitizer** (``$REPRO_DETSAN=1``): patches wall-clock and
   unseeded-entropy entry points to raise during simulations and tests —
   see :mod:`repro.lint.detsan`.
@@ -21,6 +24,7 @@ from repro.lint.detsan import (
     enabled_from_env,
     maybe_sanitize,
 )
+from repro.lint.flow import FLOW_RULES, FLOW_RULES_BY_ID, run_flow
 from repro.lint.rules import ALL_RULES, RULES_BY_ID, Finding, run_rules
 from repro.lint.walker import LintToolError, parse_module, parse_tree
 
@@ -32,6 +36,8 @@ __all__ = [
     "EXIT_CLEAN",
     "EXIT_TOOL_ERROR",
     "EXIT_VIOLATIONS",
+    "FLOW_RULES",
+    "FLOW_RULES_BY_ID",
     "Finding",
     "LintToolError",
     "RULES_BY_ID",
@@ -42,5 +48,6 @@ __all__ = [
     "maybe_sanitize",
     "parse_module",
     "parse_tree",
+    "run_flow",
     "run_rules",
 ]

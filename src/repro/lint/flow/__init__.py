@@ -1,0 +1,103 @@
+"""Interprocedural dataflow passes layered on the per-file walker.
+
+``run_flow`` builds the project call graph once, summarizes every
+function, and runs the three whole-program passes:
+
+* **DET004** — nondeterminism taint from sources to export sinks
+  (:mod:`repro.lint.flow.taint`);
+* **PAR001** / **PUR001** — parallel-purity of the executor's reachable
+  set and argument-purity of memoized functions
+  (:mod:`repro.lint.flow.purity`);
+* **CACHE001** — ambient-input soundness of the runner cache fingerprint
+  (:mod:`repro.lint.flow.cachekey`).
+
+Findings honor the same ``# lint: allow=RULE`` suppressions and baseline
+as the per-file rules, and carry the enclosing symbol for line-number-
+independent baseline fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.lint.flow import cachekey, purity, taint
+from repro.lint.flow.callgraph import FunctionIndex
+from repro.lint.flow.summaries import build_summaries
+from repro.lint.rules import (
+    Finding,
+    LintContext,
+    annotate_symbols,
+    build_context,
+)
+from repro.lint.walker import ParsedModule
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """Descriptor for one whole-program rule (for reports and --rules)."""
+
+    id: str
+    title: str
+    hint: str
+
+
+FLOW_RULES: Sequence[FlowRule] = (
+    FlowRule(
+        id=taint.RULE_ID,
+        title="no nondeterminism taint into result/export sinks",
+        hint=taint.HINT,
+    ),
+    FlowRule(
+        id=purity.PAR_RULE_ID,
+        title="no module-state writes reachable from the parallel executor",
+        hint=purity.PAR_HINT,
+    ),
+    FlowRule(
+        id=purity.PUR_RULE_ID,
+        title="memoized functions are pure in their arguments",
+        hint=purity.PUR_HINT,
+    ),
+    FlowRule(
+        id=cachekey.RULE_ID,
+        title="cached cells read no ambient inputs outside the fingerprint",
+        hint=cachekey.HINT,
+    ),
+)
+
+FLOW_RULES_BY_ID: Dict[str, FlowRule] = {rule.id: rule for rule in FLOW_RULES}
+
+
+def run_flow(modules: Sequence[ParsedModule],
+             context: Optional[LintContext] = None,
+             rule_ids: Optional[Set[str]] = None) -> List[Finding]:
+    """Run the whole-program passes over *modules*.
+
+    *rule_ids* restricts output to a subset of the flow rules (None means
+    all).  Findings are suppression-filtered, symbol-annotated, and sorted
+    exactly like :func:`repro.lint.rules.run_rules` output, so the CLI can
+    concatenate the two lists.
+    """
+    if context is None:
+        context = build_context(modules)
+    index = FunctionIndex(modules)
+    summaries = build_summaries(index, context)
+    findings: List[Finding] = []
+    wanted = rule_ids if rule_ids is not None else set(FLOW_RULES_BY_ID)
+    if taint.RULE_ID in wanted:
+        findings.extend(taint.analyze_taint(index, summaries, context))
+    if purity.PAR_RULE_ID in wanted:
+        findings.extend(purity.check_parallel_purity(index, summaries))
+    if purity.PUR_RULE_ID in wanted:
+        findings.extend(purity.check_memo_purity(index, summaries))
+    if cachekey.RULE_ID in wanted:
+        findings.extend(cachekey.check_cache_keys(index, summaries))
+    by_path = {module.path: module for module in modules}
+    findings = [
+        finding for finding in findings
+        if not (finding.path in by_path
+                and by_path[finding.path].allowed(finding.rule, finding.line))
+    ]
+    findings = annotate_symbols(modules, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,289 @@
+"""PAR001 / PUR001 — parallel-purity and memo-purity proofs.
+
+**PAR001** walks the call graph from ``repro.runner.cells.execute_cell``
+(and every ``@cell_kind`` function) and flags any reachable write to
+module-level state.  Cells execute concurrently under ``--jobs``; a
+module-global write from inside a cell is a cross-worker race and, worse,
+makes results depend on execution *order*.  A short allowlist sanctions
+the version-keyed memos and the sanitizer depth counter, whose effects
+are value-transparent by construction (same key -> same value).
+
+**PUR001** proves memoized functions pure in their arguments: anything
+decorated ``functools.lru_cache``/``functools.cache``, plus inline
+thunks handed to the FIFO memo ``repro.experiments.common.cached``.
+A memo that reads the clock, the environment, or mutable module state
+returns whatever happened to be true at *first* call — the cache then
+pins that accident forever.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.flow.callgraph import FunctionIndex, FunctionInfo
+from repro.lint.flow.summaries import AMBIENT_SANCTIONED_ENV, FunctionSummary
+from repro.lint.rules import Finding
+
+PAR_RULE_ID = "PAR001"
+PAR_HINT = ("cells run concurrently under --jobs: keep all state inside the "
+            "cell's own objects, or route memos through the sanctioned "
+            "version-keyed caches (common.cached, routing.finger_table_for)")
+
+PUR_RULE_ID = "PUR001"
+PUR_HINT = ("a memoized function must be a pure function of its arguments — "
+            "hoist the clock/env/global read out to the caller and pass the "
+            "value in as a parameter")
+
+#: Functions whose module-state writes are sanctioned: version-keyed memos
+#: (same key always maps to the same value, so races are benign) and the
+#: sanitizer's reentrancy counter.
+SANCTIONED_MUTATORS = frozenset({
+    "repro.experiments.common.cached",
+    "repro.experiments.common.clear_cache",
+    "repro.dht.routing.finger_table_for",
+    "repro.lint.detsan.determinism_sanitizer",
+    "repro.obs.events.register_kind",
+})
+
+#: Roots for the parallel-purity proof, beyond @cell_kind functions.
+EXECUTOR_ENTRY = "repro.runner.cells.execute_cell"
+
+#: Decorator origins that mark a function as argument-memoized.
+_MEMO_DECORATORS = frozenset({
+    "functools.lru_cache", "lru_cache", "functools.cache", "cache",
+})
+
+#: The FIFO memo helper: ``cached(key, thunk)`` — the thunk must be pure.
+_FIFO_MEMO = "repro.experiments.common.cached"
+
+
+def _reachable(roots: Sequence[FunctionInfo],
+               summaries: Dict[str, FunctionSummary],
+               prune: frozenset = frozenset(),
+               ) -> Dict[str, Tuple[str, ...]]:
+    """qualname -> shortest call chain (as qualnames) from any root.
+
+    Functions in *prune* are neither visited nor traversed through —
+    used to treat the sanctioned memo machinery as an opaque trusted unit.
+    """
+    chains: Dict[str, Tuple[str, ...]] = {}
+    queue: List[Tuple[FunctionInfo, Tuple[str, ...]]] = [
+        (root, (root.qualname,)) for root in roots
+        if root.qualname not in prune
+    ]
+    while queue:
+        info, chain = queue.pop(0)
+        if info.qualname in chains:
+            continue
+        chains[info.qualname] = chain
+        summary = summaries.get(info.qualname)
+        if summary is None:
+            continue
+        for call in summary.calls:
+            if (call.target is not None
+                    and call.target.qualname not in chains
+                    and call.target.qualname not in prune):
+                queue.append((call.target, chain + (call.target.qualname,)))
+    return chains
+
+
+def _chain_text(chain: Tuple[str, ...]) -> str:
+    names = [qual.rsplit(".", 1)[-1] for qual in chain]
+    return " -> ".join(f"{name}()" for name in names)
+
+
+def check_parallel_purity(index: FunctionIndex,
+                          summaries: Dict[str, FunctionSummary]
+                          ) -> List[Finding]:
+    roots: List[FunctionInfo] = []
+    entry = index.by_qualname.get(EXECUTOR_ENTRY)
+    if entry is not None:
+        roots.append(entry)
+    roots.extend(
+        info for info in index.by_qualname.values()
+        if info.cell_kind is not None
+    )
+    roots.sort(key=lambda info: info.qualname)
+    chains = _reachable(roots, summaries, prune=SANCTIONED_MUTATORS)
+    findings: List[Finding] = []
+    for qualname in sorted(chains):
+        summary = summaries.get(qualname)
+        if summary is None:
+            continue
+        module = summary.info.module
+        for mutation in summary.mutations:
+            findings.append(Finding(
+                rule=PAR_RULE_ID,
+                path=module.path,
+                line=getattr(mutation.node, "lineno", 0),
+                col=getattr(mutation.node, "col_offset", 0) + 1,
+                message=(f"{mutation.verb} of module state {mutation.target} "
+                         f"reachable from the parallel executor via "
+                         f"{_chain_text(chains[qualname])}"),
+                hint=PAR_HINT,
+            ))
+    return findings
+
+
+def _memoized_functions(index: FunctionIndex) -> List[FunctionInfo]:
+    memoized = []
+    for info in index.by_qualname.values():
+        for decorator in info.decorators:
+            if decorator in _MEMO_DECORATORS:
+                memoized.append(info)
+                break
+    memoized.sort(key=lambda info: info.qualname)
+    return memoized
+
+
+def _mutated_targets(summaries: Dict[str, FunctionSummary]) -> frozenset:
+    """Module-level containers actually written somewhere in the project.
+
+    Reading a module-level list/dict that nothing ever mutates is a
+    constant-table lookup, not an impurity.
+    """
+    return frozenset(
+        mutation.target
+        for summary in summaries.values()
+        for mutation in summary.mutations
+    )
+
+
+def _impurities(root: FunctionInfo,
+                summaries: Dict[str, FunctionSummary]
+                ) -> List[Tuple[ast.AST, str, Tuple[str, ...]]]:
+    """(site, description, chain) for every impurity reachable from *root*.
+
+    The sanctioned memo machinery is pruned wholesale: its env reads
+    (memo policy knobs) and container writes are trusted as a unit.
+    Ambient configuration reads (:data:`AMBIENT_SANCTIONED_ENV`) are
+    sanctioned — they are process-constant, and the disk cache
+    fingerprints the ones that shape result content.
+    """
+    found: List[Tuple[ast.AST, str, Tuple[str, ...]]] = []
+    chains = _reachable([root], summaries, prune=SANCTIONED_MUTATORS)
+    mutated = _mutated_targets(summaries)
+    for qualname in sorted(chains):
+        summary = summaries.get(qualname)
+        if summary is None:
+            continue
+        chain = chains[qualname]
+        for source in summary.source_calls:
+            found.append((source.node, f"calls {source.origin}()", chain))
+        for env in summary.env_reads:
+            if env.key in AMBIENT_SANCTIONED_ENV:
+                continue
+            key = env.key or "?"
+            found.append((env.node, f"reads os.environ[{key}]", chain))
+        for mutation in summary.mutations:
+            found.append((
+                mutation.node,
+                f"{mutation.verb} of module state {mutation.target}", chain,
+            ))
+        for node, name in summary.global_reads:
+            if name in mutated:
+                found.append(
+                    (node, f"reads mutable module state {name}", chain))
+    return found
+
+
+def check_memo_purity(index: FunctionIndex,
+                      summaries: Dict[str, FunctionSummary]
+                      ) -> List[Finding]:
+    findings: List[Finding] = []
+    for info in _memoized_functions(index):
+        module = info.module
+        for _site, description, chain in _impurities(info, summaries):
+            findings.append(Finding(
+                rule=PUR_RULE_ID,
+                path=module.path,
+                line=info.node.lineno,
+                col=info.node.col_offset + 1,
+                message=(f"memoized {info.qualname} is impure: {description} "
+                         f"(via {_chain_text(chain)})"),
+                hint=PUR_HINT,
+            ))
+    # Thunks handed to the FIFO memo: cached(key, lambda: ...) — check the
+    # lambda body (and any local function passed by name) for impurities.
+    for qualname in sorted(summaries):
+        summary = summaries[qualname]
+        module = summary.info.module
+        for call in summary.calls:
+            if call.target is None or call.target.qualname != _FIFO_MEMO:
+                continue
+            if len(call.node.args) < 2:
+                continue
+            thunk = call.node.args[1]
+            findings.extend(_check_thunk(thunk, summary, index, summaries))
+    findings.sort(key=lambda f: (f.path, f.line, f.col))
+    return findings
+
+
+def _check_thunk(thunk: ast.expr, caller: FunctionSummary,
+                 index: FunctionIndex,
+                 summaries: Dict[str, FunctionSummary]) -> List[Finding]:
+    module = caller.info.module
+    findings: List[Finding] = []
+
+    def flag(site: ast.AST, description: str) -> None:
+        findings.append(Finding(
+            rule=PUR_RULE_ID,
+            path=module.path,
+            line=getattr(site, "lineno", 0),
+            col=getattr(site, "col_offset", 0) + 1,
+            message=(f"memo thunk passed to common.cached in "
+                     f"{caller.info.qualname} is impure: {description}"),
+            hint=PUR_HINT,
+        ))
+
+    if isinstance(thunk, ast.Name):
+        # A local def or project function passed by name.  Findings anchor
+        # at the thunk expression — the impurity site may be in another
+        # module, but the memo decision happens here.
+        target = _resolve_thunk_name(thunk.id, caller, index)
+        if target is not None:
+            for _site, description, chain in _impurities(target, summaries):
+                flag(thunk, f"{description} (via {_chain_text(chain)})")
+        return findings
+
+    if isinstance(thunk, ast.Lambda):
+        # Direct sources inside the lambda body, plus impure resolved calls.
+        lambda_sources = {
+            source.node for source in caller.source_calls
+        }
+        lambda_envs = {env.node for env in caller.env_reads}
+        for node in ast.walk(thunk):
+            if node in lambda_sources:
+                for source in caller.source_calls:
+                    if source.node is node:
+                        flag(node, f"calls {source.origin}()")
+            elif node in lambda_envs:
+                for env in caller.env_reads:
+                    if env.node is node:
+                        flag(node, f"reads os.environ[{env.key or '?'}]")
+        for call in caller.calls:
+            if call.target is None:
+                continue
+            if not _node_within(call.node, thunk):
+                continue
+            for _site, description, chain in _impurities(
+                    call.target, summaries):
+                flag(call.node, f"{description} (via {_chain_text(chain)})")
+    return findings
+
+
+def _resolve_thunk_name(name: str, caller: FunctionSummary,
+                        index: FunctionIndex) -> Optional[FunctionInfo]:
+    nested = f"{caller.info.qualname}.{name}"
+    if nested in index.by_qualname:
+        return index.by_qualname[nested]
+    symbols = index.module_symbols.get(caller.info.module.module, {})
+    qual = symbols.get(name)
+    if qual is not None and qual in index.by_qualname:
+        return index.by_qualname[qual]
+    return None
+
+
+def _node_within(node: ast.AST, container: ast.AST) -> bool:
+    return any(node is candidate for candidate in ast.walk(container))

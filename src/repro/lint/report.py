@@ -5,17 +5,22 @@ The JSON document is versioned and schema-stable (CI parses it):
 .. code-block:: json
 
     {
-      "version": 1,
+      "version": 2,
       "tool": "repro.lint",
       "roots": ["src/repro"],
       "files_scanned": 70,
       "strict": true,
+      "flow": true,
       "findings": [{"rule": "...", "path": "...", "line": 1, "col": 1,
-                    "message": "...", "hint": "..."}],
+                    "message": "...", "hint": "...", "symbol": "..."}],
       "suppressed": [...],
-      "stale_baseline": ["DET001:src/x.py:ab12cd34"],
+      "stale_baseline": ["DET001:repro.x.f:ab12cd34"],
       "summary": {"DET001": 0, "...": 0}
     }
+
+v2 adds the ``flow`` flag (whether the whole-program passes ran), the
+``symbol`` field on findings, and the four flow rules (DET004, PAR001,
+PUR001, CACHE001) in ``summary``.
 """
 
 from __future__ import annotations
@@ -25,12 +30,18 @@ from typing import Dict, List, Sequence
 
 from repro.lint.rules import ALL_RULES, Finding
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
+
+
+def _all_rule_ids() -> List[str]:
+    from repro.lint.flow import FLOW_RULES
+
+    return [rule.id for rule in ALL_RULES] + [rule.id for rule in FLOW_RULES]
 
 
 def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
     """Per-rule counts, every known rule present (0 when clean)."""
-    counts = {rule.id: 0 for rule in ALL_RULES}
+    counts = {rule_id: 0 for rule_id in _all_rule_ids()}
     for finding in findings:
         counts[finding.rule] = counts.get(finding.rule, 0) + 1
     return dict(sorted(counts.items()))
@@ -68,6 +79,7 @@ def render_json(
     files_scanned: int,
     roots: Sequence[str],
     strict: bool,
+    flow: bool = False,
 ) -> str:
     payload = {
         "version": REPORT_VERSION,
@@ -75,6 +87,7 @@ def render_json(
         "roots": list(roots),
         "files_scanned": files_scanned,
         "strict": strict,
+        "flow": flow,
         "findings": [f.to_dict() for f in findings],
         "suppressed": [f.to_dict() for f in suppressed],
         "stale_baseline": list(stale),

@@ -29,6 +29,7 @@ Suppression: ``# lint: allow=DET001`` on (or directly above) the line.
 from __future__ import annotations
 
 import ast
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -48,6 +49,10 @@ class Finding:
     col: int
     message: str
     hint: str
+    #: Module-qualified enclosing def/class ("repro.dht.ring.Ring.lookup"),
+    #: or the bare module name for module-level findings.  Baseline v2
+    #: fingerprints hang off this, so moves/reformats don't churn them.
+    symbol: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -57,6 +62,7 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "hint": self.hint,
+            "symbol": self.symbol,
         }
 
     def location(self) -> str:
@@ -182,6 +188,51 @@ class Rule:
 
 def _filter_allowed(module: ParsedModule, findings: Iterable[Finding]) -> List[Finding]:
     return [f for f in findings if not module.allowed(f.rule, f.line)]
+
+
+def _symbol_spans(module: ParsedModule) -> List[Tuple[int, int, str]]:
+    """(start, end, qualified name) for every def/class, innermost last."""
+    spans: List[Tuple[int, int, str]] = []
+
+    def visit(node: ast.AST, scope: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                qual = f"{scope}.{child.name}"
+                end = getattr(child, "end_lineno", None) or child.lineno
+                spans.append((child.lineno, end, qual))
+                visit(child, qual)
+            else:
+                visit(child, scope)
+
+    visit(module.tree, module.module)
+    spans.sort(key=lambda span: (span[0], -span[1]))
+    return spans
+
+
+def annotate_symbols(modules: Sequence[ParsedModule],
+                     findings: Iterable[Finding]) -> List[Finding]:
+    """Fill each finding's ``symbol`` with its enclosing def/class.
+
+    Findings outside any def/class get the module's dotted name; findings
+    whose path was not scanned keep whatever symbol they carry.
+    """
+    spans_by_path: Dict[str, List[Tuple[int, int, str]]] = {}
+    module_names: Dict[str, str] = {}
+    for module in modules:
+        spans_by_path[module.path] = _symbol_spans(module)
+        module_names[module.path] = module.module
+    annotated: List[Finding] = []
+    for finding in findings:
+        if finding.symbol or finding.path not in spans_by_path:
+            annotated.append(finding)
+            continue
+        symbol = module_names[finding.path]
+        for start, end, qual in spans_by_path[finding.path]:
+            if start <= finding.line <= end:
+                symbol = qual  # innermost match wins (sorted outer-first)
+        annotated.append(dataclasses.replace(finding, symbol=symbol))
+    return annotated
 
 
 # ---------------------------------------------------------------------------
@@ -735,5 +786,6 @@ def run_rules(modules: Sequence[ParsedModule],
         for rule in rules:
             if rule.applies_to(module):
                 findings.extend(rule.check(module, context))
+    findings = annotate_symbols(modules, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -14,20 +14,38 @@ tool failures must never masquerade as a clean (or dirty) run.
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Set
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 
 class LintToolError(Exception):
     """The linter itself failed (unreadable path, syntax error, bad args)."""
 
 
-#: Suppression comment: ``# lint: allow=DET001`` or ``allow=DET001,KEY001``.
-#: Applies to the physical line it sits on (inline or the line above).
-_ALLOW_RE = re.compile(r"#\s*lint:\s*allow=([A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)")
+#: Suppression directive, anchored at the start of a *comment token*:
+#: ``# lint: allow=RULEID`` (one id or a comma list).  Matching real
+#: comment tokens — not raw source lines — keeps mentions of the syntax
+#: inside docstrings and string literals from acting as suppressions.
+_ALLOW_RE = re.compile(r"^#\s*lint:\s*allow=([A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)")
+
+
+@dataclass
+class AllowComment:
+    """One ``# lint: allow=...`` comment, for suppression auditing."""
+
+    lineno: int               # physical line the comment sits on
+    rules: Tuple[str, ...]    # rule ids it names, sorted
+    comment_only: bool        # True when the line holds nothing else
+
+    def covers(self) -> Tuple[int, ...]:
+        """Line numbers this comment suppresses findings on."""
+        if self.comment_only:
+            return (self.lineno, self.lineno + 1)
+        return (self.lineno,)
 
 
 @dataclass
@@ -40,6 +58,8 @@ class ParsedModule:
     lines: List[str]          # source lines, 1-indexed via lines[lineno - 1]
     #: line number -> rule ids suppressed on that line
     allows: Dict[int, Set[str]] = field(default_factory=dict)
+    #: every suppression comment, for ``--audit-suppressions``
+    allow_comments: List[AllowComment] = field(default_factory=list)
 
     def line(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -55,17 +75,38 @@ class ParsedModule:
         return rule_id in self.allows.get(lineno, ())
 
 
-def _parse_allows(source: str) -> Dict[int, Set[str]]:
-    allows: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _ALLOW_RE.search(line)
+def _parse_allow_comments(source: str) -> List[AllowComment]:
+    lines = source.splitlines()
+    comments: List[AllowComment] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Callers only reach here after a successful ast.parse, so this is
+        # a theoretical path; degrade to "no suppressions" rather than die.
+        return comments
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.match(token.string)
         if not match:
             continue
-        rules = {part.strip() for part in match.group(1).split(",")}
-        allows.setdefault(lineno, set()).update(rules)
-        if line.lstrip().startswith("#"):
-            # Comment-only line: the suppression targets the next line.
-            allows.setdefault(lineno + 1, set()).update(rules)
+        lineno = token.start[0]
+        line = lines[lineno - 1] if 1 <= lineno <= len(lines) else ""
+        rules = sorted({part.strip() for part in match.group(1).split(",")})
+        comments.append(AllowComment(
+            lineno=lineno,
+            rules=tuple(rules),
+            # Comment-only line: the suppression targets the next line too.
+            comment_only=line.lstrip().startswith("#"),
+        ))
+    return comments
+
+
+def _parse_allows(source: str) -> Dict[int, Set[str]]:
+    allows: Dict[int, Set[str]] = {}
+    for comment in _parse_allow_comments(source):
+        for lineno in comment.covers():
+            allows.setdefault(lineno, set()).update(comment.rules)
     return allows
 
 
@@ -112,6 +153,7 @@ def parse_module(path: str) -> ParsedModule:
         tree=tree,
         lines=source.splitlines(),
         allows=_parse_allows(source),
+        allow_comments=_parse_allow_comments(source),
     )
 
 

@@ -55,15 +55,42 @@ CACHE_ENV = "REPRO_RUN_CACHE"
 #: ``events_fired``, so pre-v3 churn rows are stale in content.
 SCHEMA_VERSION = 3
 
+#: Ambient environment variables whose value shapes cached result
+#: *content* and therefore participates in the cache fingerprint.
+#: ``$REPRO_TRACE_SAMPLE`` reaches cells through ``Tracer.from_env``
+#: (Deployment construction) and decides which spans land in
+#: ``result.trace`` — two runs with different sample rates must not
+#: share an entry.  Variables that are unset (or empty) are omitted, so
+#: default-environment keys are byte-identical to the pre-fingerprint
+#: scheme and existing caches stay warm.  The flow linter's CACHE001
+#: pass cross-checks this list against the env reads actually reachable
+#: from cached cell bodies.
+AMBIENT_ENV_KEYS: Tuple[str, ...] = ("REPRO_TRACE_SAMPLE",)
+
+
+def ambient_fingerprint() -> Tuple[Tuple[str, str], ...]:
+    """The (name, value) pairs of set ambient env vars, fingerprint-ready."""
+    return tuple(
+        (name, os.environ[name])
+        for name in AMBIENT_ENV_KEYS
+        if os.environ.get(name)
+    )
+
 
 def cache_key(kind: str, params: Mapping[str, Any]) -> str:
     """Stable content address of one grid cell.
 
     Parameter order does not matter; values must have deterministic
     ``repr`` (ints, floats, strings, bools, tuples thereof — what the cell
-    builders use).
+    builders use).  Set ambient env vars (:data:`AMBIENT_ENV_KEYS`) are
+    appended so environment-shaped results address distinct entries.
     """
-    canonical = (SCHEMA_VERSION, kind, tuple(sorted(params.items())))
+    canonical: Tuple[Any, ...] = (
+        SCHEMA_VERSION, kind, tuple(sorted(params.items()))
+    )
+    ambient = ambient_fingerprint()
+    if ambient:
+        canonical = canonical + (ambient,)
     return hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
 
 

@@ -495,15 +495,19 @@ def test_json_report_schema(tmp_path, capsys):
     rc = main([str(target), "--no-baseline", "--json"])
     assert rc == EXIT_VIOLATIONS
     payload = json.loads(capsys.readouterr().out)
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["tool"] == "repro.lint"
     assert payload["files_scanned"] == 1
+    assert payload["flow"] is False
     assert set(payload["summary"]) == {
-        "DET001", "DET002", "DET003", "OBS001", "OBS002", "KEY001",
+        "DET001", "DET002", "DET003", "DET004", "OBS001", "OBS002",
+        "KEY001", "PAR001", "PUR001", "CACHE001",
     }
     assert payload["summary"]["DET001"] == 1
     (finding,) = payload["findings"]
-    assert set(finding) == {"rule", "path", "line", "col", "message", "hint"}
+    assert set(finding) == {
+        "rule", "path", "line", "col", "message", "hint", "symbol",
+    }
     assert payload["suppressed"] == []
     assert payload["stale_baseline"] == []
 

@@ -86,6 +86,30 @@ class TestCacheKey:
     def test_stable_across_calls(self):
         assert cache_key("k", dict(TINY_CELL)) == cache_key("k", dict(TINY_CELL))
 
+    def test_default_env_matches_legacy_scheme(self, monkeypatch):
+        # Byte-identity guard: with no ambient vars set, keys must equal the
+        # pre-fingerprint formula, so existing on-disk caches stay warm.
+        import hashlib
+
+        from repro.runner.cache import AMBIENT_ENV_KEYS
+
+        for name in AMBIENT_ENV_KEYS:
+            monkeypatch.delenv(name, raising=False)
+        params = dict(TINY_CELL)
+        legacy = hashlib.sha256(
+            repr((SCHEMA_VERSION, "k", tuple(sorted(params.items())))).encode("utf-8")
+        ).hexdigest()
+        assert cache_key("k", params) == legacy
+
+    def test_ambient_env_changes_key(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE", raising=False)
+        base = cache_key("k", dict(TINY_CELL))
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "0.5")
+        assert cache_key("k", dict(TINY_CELL)) != base
+        # Empty string counts as unset: same bytes as the default key.
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "")
+        assert cache_key("k", dict(TINY_CELL)) == base
+
 
 class TestRunCache:
     def test_disabled_without_env(self):
